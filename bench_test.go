@@ -1,0 +1,261 @@
+// Package repro_test is the benchmark harness: one testing.B benchmark
+// per table and figure of the paper (regenerating the result and
+// reporting its headline numbers as custom metrics), plus component
+// micro-benchmarks and the DESIGN.md ablation benches.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package repro_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/experiments"
+	"repro/internal/gf2"
+	"repro/internal/index"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// benchOpts scales experiments so a -bench=. sweep finishes in minutes.
+func benchOpts() experiments.Options {
+	return experiments.Options{Instructions: 50_000, Seed: 1997, Fig1Rounds: 9, MaxStride: 1024}
+}
+
+// ---------------------------------------------------------------------------
+// Experiment regeneration benches (one per paper artifact)
+// ---------------------------------------------------------------------------
+
+// BenchmarkFigure1 regenerates the Figure 1 stride sweep.
+func BenchmarkFigure1(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig1(o)
+		b.ReportMetric(100*res.PathologicalFraction(index.SchemeModulo), "patho-a2-%")
+		b.ReportMetric(100*res.PathologicalFraction(index.SchemeIPolySk), "patho-HpSk-%")
+	}
+}
+
+// BenchmarkTable2 regenerates the full Table 2 grid (18 benchmarks x 6
+// configurations) and reports the combined-average headline columns.
+func BenchmarkTable2(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunTable2(o)
+		b.ReportMetric(res.Combined.C8IPC, "IPC-conv8K")
+		b.ReportMetric(res.Combined.IPolyIPC, "IPC-ipoly")
+		b.ReportMetric(res.Combined.C8Miss, "miss%-conv8K")
+		b.ReportMetric(res.Combined.IPolyMiss, "miss%-ipoly")
+	}
+}
+
+// BenchmarkTable3 regenerates the Table 3 bad/good breakdown.
+func BenchmarkTable3(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunTable3(o)
+		b.ReportMetric(res.BadAvg.C8IPC, "IPC-bad-conv")
+		b.ReportMetric(res.BadAvg.InCPPredIPC, "IPC-bad-ipoly+pred")
+	}
+}
+
+// BenchmarkHoles regenerates the §3.3 hole-probability validation.
+func BenchmarkHoles(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunHoles(o)
+		last := res.Sweep[len(res.Sweep)-1]
+		b.ReportMetric(last.ModelPH, "model-PH")
+		b.ReportMetric(last.Measured, "measured-PH")
+	}
+}
+
+// BenchmarkMissRatioOrgs regenerates the §2.1 organization comparison.
+func BenchmarkMissRatioOrgs(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunOrgs(o)
+		for j, n := range res.Orgs {
+			if n == "2-way I-Poly-Sk" || n == "fully-assoc" || n == "2-way" {
+				b.ReportMetric(res.Avg[j], "miss%-"+strings.ReplaceAll(n, " ", "_"))
+			}
+		}
+	}
+}
+
+// BenchmarkStdDev regenerates the §5 predictability study.
+func BenchmarkStdDev(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunStdDev(o)
+		b.ReportMetric(res.ConvStdDev, "stddev-conv")
+		b.ReportMetric(res.IPolyStdDev, "stddev-ipoly")
+	}
+}
+
+// BenchmarkColAssoc regenerates the §3.1 option-4 probe study.
+func BenchmarkColAssoc(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunColAssoc(o)
+		var sum float64
+		for _, r := range res.FirstProbeRate {
+			sum += r
+		}
+		b.ReportMetric(100*sum/float64(len(res.FirstProbeRate)), "first-probe-%")
+	}
+}
+
+// BenchmarkOptions31 regenerates the §3.1 implementation-options study.
+func BenchmarkOptions31(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunOptions31(o)
+		b.ReportMetric(res.Option1IPC, "IPC-physindex")
+		b.ReportMetric(res.Option3IPC, "IPC-virtualreal")
+	}
+}
+
+// BenchmarkSweep regenerates the size x ways x scheme design-space grid.
+func BenchmarkSweep(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunSweep(o)
+		if v, ok := res.At(8, 2, index.SchemeIPolySk); ok {
+			b.ReportMetric(v, "miss%-8K2w-ipoly")
+		}
+	}
+}
+
+// BenchmarkThreeC regenerates the 3C miss-classification study.
+func BenchmarkThreeC(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunThreeC(o)
+		var conv, ip float64
+		for j := range res.Conventional {
+			conv += res.Conventional[j].Conflict
+			ip += res.IPoly[j].Conflict
+		}
+		n := float64(len(res.Conventional))
+		b.ReportMetric(conv/n, "conflict%-conv")
+		b.ReportMetric(ip/n, "conflict%-ipoly")
+	}
+}
+
+// BenchmarkAblations regenerates the DESIGN.md design-choice ablations.
+func BenchmarkAblations(b *testing.B) {
+	o := benchOpts()
+	o.Instructions = 20_000
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunAblate(o)
+		b.ReportMetric(res.IrreducibleMiss, "miss%-irreducible")
+		b.ReportMetric(res.ReducibleMiss, "miss%-reducible")
+		b.ReportMetric(res.UnskewedMiss, "miss%-unskewed")
+	}
+}
+
+// BenchmarkInterleave regenerates the §2.1 interleaved-memory lineage
+// comparison.
+func BenchmarkInterleave(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunInterleave(o)
+		for j, s := range res.Schemes {
+			if s == "ipoly-16" || s == "modulo-16" {
+				b.ReportMetric(res.MeanBW[j], "BW-"+s)
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Component micro-benchmarks
+// ---------------------------------------------------------------------------
+
+// BenchmarkGF2Mod measures raw polynomial modulus throughput.
+func BenchmarkGF2Mod(b *testing.B) {
+	p := gf2.Irreducibles(7, 1)[0]
+	var sink gf2.Poly
+	for i := 0; i < b.N; i++ {
+		sink ^= gf2.Poly(uint64(i) * 0x9E3779B9).Mod(p)
+	}
+	_ = sink
+}
+
+// BenchmarkBitMatrixApply measures the precomputed XOR-network path the
+// cache actually uses per access.
+func BenchmarkBitMatrixApply(b *testing.B) {
+	m := gf2.NewModMatrix(gf2.Irreducibles(7, 1)[0], 19)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= m.Apply(uint64(i) * 0x9E3779B9)
+	}
+	_ = sink
+}
+
+// BenchmarkPlacement compares one index computation per scheme.
+func BenchmarkPlacement(b *testing.B) {
+	for _, scheme := range index.AllSchemes() {
+		place := index.MustNew(scheme, 7, 2, 14)
+		b.Run(string(scheme), func(b *testing.B) {
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				sink ^= place.SetIndex(uint64(i)*977, i&1)
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkCacheAccess measures behavioural-cache throughput per scheme.
+func BenchmarkCacheAccess(b *testing.B) {
+	for _, scheme := range index.AllSchemes() {
+		place := index.MustNew(scheme, 7, 2, 14)
+		b.Run(string(scheme), func(b *testing.B) {
+			c := cache.New(cache.Config{
+				Size: 8 << 10, BlockSize: 32, Ways: 2,
+				Placement: place, WriteAllocate: false,
+			})
+			for i := 0; i < b.N; i++ {
+				c.Access(uint64(i)*64, false)
+			}
+		})
+	}
+}
+
+// BenchmarkCoreAPI measures the public core.Cache access path.
+func BenchmarkCoreAPI(b *testing.B) {
+	c := core.MustNew(core.Spec{SizeBytes: 8 << 10, BlockBytes: 32, Ways: 2})
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i)*64, core.Load)
+	}
+}
+
+// BenchmarkCPUSim measures out-of-order simulation speed in
+// instructions/op (each op = one simulated instruction).
+func BenchmarkCPUSim(b *testing.B) {
+	prof, _ := workload.ByName("gcc")
+	cfg := cpu.DefaultConfig(cpu.PaperCache(8<<10, nil))
+	coreSim := cpu.New(cfg)
+	s := workload.Stream(prof, 42)
+	b.ResetTimer()
+	res := coreSim.Run(&trace.Limit{S: s, N: b.N}, uint64(b.N))
+	b.ReportMetric(res.IPC(), "simulated-IPC")
+}
+
+// BenchmarkWorkloadGen measures trace generation alone.
+func BenchmarkWorkloadGen(b *testing.B) {
+	prof, _ := workload.ByName("tomcatv")
+	s := workload.Stream(prof, 42)
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Next(); !ok {
+			b.Fatal("stream ended")
+		}
+	}
+}

@@ -1,0 +1,19 @@
+// Command table3 regenerates the paper's Table 3: the three
+// high-conflict programs (tomcatv, swim, wave5) plus the bad/good
+// average rows derived from the Table 2 simulations.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	instrs := flag.Uint64("instructions", 200_000, "instructions per benchmark per configuration")
+	seed := flag.Uint64("seed", 1997, "workload seed")
+	flag.Parse()
+	res := experiments.RunTable3(experiments.Options{Instructions: *instrs, Seed: *seed})
+	fmt.Println(res.Render())
+}

@@ -1,0 +1,49 @@
+// Columnassoc: the §3.1 option-4 design.  When the minimum page size
+// caps how many address bits a first-level index may use, a direct-
+// mapped cache can still get pseudo-full associativity: probe first at
+// the conventional (unmapped-bit) index, and on a miss probe again at a
+// polynomially hashed index computed from the full physical address,
+// swapping lines so the next access hits on the first probe.  The paper
+// reports ~90% of hits land on the first probe.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/gf2"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	p := gf2.Irreducibles(8, 1)[0]
+	fmt.Printf("Column-associative polynomial rehash, 8KB direct-mapped, P(x) = %v\n\n", p)
+	fmt.Printf("%-10s %12s %12s %12s %14s\n",
+		"bench", "miss% (CA)", "miss% (DM)", "1st-probe", "probes/access")
+
+	for _, prof := range workload.Suite() {
+		ca := cache.NewColumnAssociative(8<<10, 32, p, 19)
+		dm := cache.New(cache.Config{Size: 8 << 10, BlockSize: 32, Ways: 1, WriteAllocate: false})
+		s := &trace.MemOnly{S: workload.Stream(prof, 1997)}
+		for i := 0; i < 150_000; i++ {
+			r, ok := s.Next()
+			if !ok {
+				break
+			}
+			w := r.Op == trace.OpStore
+			ca.Access(r.Addr, w)
+			dm.Access(r.Addr, w)
+		}
+		fmt.Printf("%-10s %11.2f%% %11.2f%% %11.1f%% %14.3f\n",
+			prof.Name,
+			100*ca.Stats().MissRatio(),
+			100*dm.Stats().MissRatio(),
+			100*ca.FirstProbeHitRate(),
+			ca.AvgProbesPerAccess())
+	}
+
+	fmt.Println("\nThe rehash probe recovers most direct-mapped conflict misses while")
+	fmt.Println("keeping first-probe hit time identical to a plain direct-mapped cache;")
+	fmt.Println("the occasional second probe is the cost (paper §3.1, option 4).")
+}

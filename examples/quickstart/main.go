@@ -1,0 +1,67 @@
+// Quickstart: build a conflict-avoiding (I-Poly) cache with the core
+// API, inspect its XOR index network, and watch it absorb an access
+// pattern that destroys a conventionally indexed cache of the same
+// geometry.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+func main() {
+	// The paper's L1: 8 KB, 2-way, 32-byte lines, skewed I-Poly indexing.
+	ipoly := core.MustNew(core.Spec{SizeBytes: 8 << 10, BlockBytes: 32, Ways: 2})
+	conv := core.MustNew(core.Spec{
+		SizeBytes: 8 << 10, BlockBytes: 32, Ways: 2,
+		Indexing: core.Conventional,
+	})
+
+	fmt.Println("Conflict-avoiding cache: 8KB, 2-way, 32B lines")
+	fmt.Printf("Modulus polynomials: %v\n", ipoly.Polynomials())
+	fmt.Printf("Widest XOR gate (fan-in): %d  (paper: <= 5)\n\n", ipoly.MaxXORFanIn())
+
+	fmt.Println("Index network, way 0 (first three bits):")
+	gates := ipoly.GateNetwork()
+	for i, line := 0, 0; i < len(gates) && line < 4; i++ {
+		fmt.Print(string(gates[i]))
+		if gates[i] == '\n' {
+			line++
+		}
+	}
+	fmt.Println()
+
+	// The §2 pathology: four blocks separated by the way size collide on
+	// one set conventionally and ping-pong forever.
+	fmt.Println("Walking 4 blocks spaced 8KB apart, 50 rounds:")
+	for r := 0; r < 50; r++ {
+		for i := uint64(0); i < 4; i++ {
+			addr := i * 8192
+			conv.Access(addr, core.Load)
+			ipoly.Access(addr, core.Load)
+		}
+	}
+	fmt.Printf("  conventional miss ratio: %6.2f%%  (repetitive conflicts)\n",
+		100*conv.Stats().MissRatio())
+	fmt.Printf("  I-Poly miss ratio:       %6.2f%%  (cold misses only)\n\n",
+		100*ipoly.Stats().MissRatio())
+
+	// §2.1.2: power-of-two strides are provably conflict-free for
+	// set-count-long subsequences — as long as the walk stays within the
+	// address bits the hash consumes (19 here, the paper's choice).
+	fmt.Println("Stride conflict-freedom (128-block subsequences, way 0):")
+	for _, k := range []uint{0, 3, 7} {
+		fmt.Printf("  block stride 2^%-2d conflict-free: %v\n",
+			k, ipoly.StrideConflictFree(0, 1<<k, 128))
+	}
+	// A 2^10 block stride walks past bit 19; widen the hash input and the
+	// guarantee holds again.
+	wide := core.MustNew(core.Spec{
+		SizeBytes: 8 << 10, BlockBytes: 32, Ways: 2, AddressBits: 24,
+	})
+	fmt.Printf("  block stride 2^10 conflict-free: %v (19 hashed address bits)\n",
+		ipoly.StrideConflictFree(0, 1<<10, 128))
+	fmt.Printf("  block stride 2^10 conflict-free: %v (24 hashed address bits)\n",
+		wide.StrideConflictFree(0, 1<<10, 128))
+}

@@ -1,0 +1,31 @@
+// Realtime: the paper's §5 predictability claim.  Real-time systems need
+// worst-case execution-time bounds; a cache whose miss ratio can swing
+// from 3% to 66% depending on array bases is hard to certify.  I-Poly
+// indexing removes the conflict component, so the miss ratio depends
+// only on compulsory and capacity behaviour — the spread of miss ratios
+// across workloads collapses (paper: stddev 18.49 -> 5.16 on Spec95).
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func main() {
+	res := experiments.RunStdDev(experiments.Options{Instructions: 150_000})
+
+	fmt.Println("Per-workload load miss ratios, 8KB 2-way (synthetic Spec95 suite):")
+	fmt.Printf("%-10s %14s %14s\n", "bench", "conventional", "I-Poly")
+	for i, b := range res.Bench {
+		fmt.Printf("%-10s %13.2f%% %13.2f%%\n", b, res.ConvByBench[i], res.IPolyByBench[i])
+	}
+	fmt.Printf("\n%-10s %13.2f%% %13.2f%%\n", "mean", res.ConvMean, res.IPolyMean)
+	fmt.Printf("%-10s %14.2f %14.2f\n", "stddev", res.ConvStdDev, res.IPolyStdDev)
+	fmt.Printf("%-10s %13.2f%% %13.2f%%\n", "worst",
+		stats.Max(res.ConvByBench), stats.Max(res.IPolyByBench))
+
+	fmt.Println("\nThe worst case and the spread both collapse under I-Poly indexing:")
+	fmt.Println("a WCET analysis can budget for capacity misses alone (paper §5).")
+}

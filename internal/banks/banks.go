@@ -1,0 +1,185 @@
+// Package banks models parallel interleaved memory, the setting in
+// which the paper's index functions were first developed (§2.1 cites
+// Lawrie & Vora's prime-modulus memory, Harper & Jump's and Sohi's
+// skewing schemes, and Rau's pseudo-random polynomial interleaving).
+// A vector access stream is issued to B banks, each with a fixed busy
+// time; the achieved bandwidth depends on how evenly the bank-selection
+// function spreads the stream, exactly as the cache index function
+// spreads blocks over sets.
+//
+// Reproducing the interleaved-memory results grounds the paper's claim
+// that I-Poly functions inherit provable stride insensitivity from the
+// Cydra 5 lineage.
+package banks
+
+import (
+	"fmt"
+
+	"repro/internal/gf2"
+)
+
+// Selector maps a word address to a bank number.
+type Selector interface {
+	Bank(addr uint64) int
+	Banks() int
+	Name() string
+}
+
+// Modulo selects bank = addr mod 2^bits, the conventional interleave.
+type Modulo struct {
+	bits int
+	mask uint64
+}
+
+// NewModulo returns a power-of-two modulo selector.
+func NewModulo(bits int) *Modulo {
+	if bits < 0 || bits > 20 {
+		panic("banks: bits out of range")
+	}
+	return &Modulo{bits: bits, mask: 1<<uint(bits) - 1}
+}
+
+// Bank implements Selector.
+func (m *Modulo) Bank(addr uint64) int { return int(addr & m.mask) }
+
+// Banks implements Selector.
+func (m *Modulo) Banks() int { return 1 << uint(m.bits) }
+
+// Name implements Selector.
+func (m *Modulo) Name() string { return "modulo" }
+
+// Prime selects bank = addr mod p for a prime p, Lawrie & Vora's scheme
+// [16].  Prime bank counts avoid power-of-two stride degeneration at the
+// cost of a non-power-of-two divider.
+type Prime struct {
+	p int
+}
+
+// NewPrime returns a prime-modulus selector.  p must be prime.
+func NewPrime(p int) *Prime {
+	if p < 2 {
+		panic("banks: modulus must be >= 2")
+	}
+	for d := 2; d*d <= p; d++ {
+		if p%d == 0 {
+			panic(fmt.Sprintf("banks: %d is not prime", p))
+		}
+	}
+	return &Prime{p: p}
+}
+
+// Bank implements Selector.
+func (pr *Prime) Bank(addr uint64) int { return int(addr % uint64(pr.p)) }
+
+// Banks implements Selector.
+func (pr *Prime) Banks() int { return pr.p }
+
+// Name implements Selector.
+func (pr *Prime) Name() string { return "prime" }
+
+// IPoly selects the bank with a polynomial modulus hash over GF(2),
+// Rau's pseudo-random interleaving [19] — the same function family the
+// paper moves into the cache index.
+type IPoly struct {
+	m    *gf2.BitMatrix
+	bits int
+}
+
+// NewIPoly returns a polynomial selector over 2^deg(P) banks hashing the
+// low in bits of the word address.
+func NewIPoly(p gf2.Poly, in int) *IPoly {
+	return &IPoly{m: gf2.NewModMatrix(p, in), bits: p.Degree()}
+}
+
+// Bank implements Selector.
+func (ip *IPoly) Bank(addr uint64) int { return int(ip.m.Apply(addr)) }
+
+// Banks implements Selector.
+func (ip *IPoly) Banks() int { return 1 << uint(ip.bits) }
+
+// Name implements Selector.
+func (ip *IPoly) Name() string { return "ipoly" }
+
+// XOR selects the bank by folding two bit-fields, Frailong et al.'s
+// XOR-scheme [5].
+type XOR struct {
+	bits int
+	mask uint64
+}
+
+// NewXOR returns an XOR-folding selector over 2^bits banks.
+func NewXOR(bits int) *XOR {
+	if bits <= 0 || bits > 20 {
+		panic("banks: bits out of range")
+	}
+	return &XOR{bits: bits, mask: 1<<uint(bits) - 1}
+}
+
+// Bank implements Selector.
+func (x *XOR) Bank(addr uint64) int {
+	return int((addr ^ (addr >> uint(x.bits))) & x.mask)
+}
+
+// Banks implements Selector.
+func (x *XOR) Banks() int { return 1 << uint(x.bits) }
+
+// Name implements Selector.
+func (x *XOR) Name() string { return "xor" }
+
+// Memory is a bank-conflict timing model: each bank is busy for BusyTime
+// cycles per access; requests to a busy bank queue.  One request is
+// issued per cycle (a single-port vector unit).
+type Memory struct {
+	sel  Selector
+	busy []uint64 // per-bank next-free cycle
+	// BusyTime is the bank occupancy per access (cycles).
+	BusyTime uint64
+
+	clock     uint64
+	Requests  uint64
+	Conflicts uint64 // requests that found their bank busy
+	LastDone  uint64
+}
+
+// NewMemory builds an interleaved memory with the given selector and
+// bank busy time.
+func NewMemory(sel Selector, busyTime uint64) *Memory {
+	if busyTime == 0 {
+		panic("banks: busy time must be positive")
+	}
+	return &Memory{sel: sel, busy: make([]uint64, sel.Banks()), BusyTime: busyTime}
+}
+
+// Access issues one word access; the issue clock advances by one cycle
+// per request, and the request waits if its bank is busy.
+func (m *Memory) Access(addr uint64) {
+	m.clock++
+	m.Requests++
+	b := m.sel.Bank(addr)
+	start := m.clock
+	if m.busy[b] > start {
+		m.Conflicts++
+		start = m.busy[b]
+	}
+	m.busy[b] = start + m.BusyTime
+	if done := start + m.BusyTime; done > m.LastDone {
+		m.LastDone = done
+	}
+}
+
+// Bandwidth returns achieved words per cycle: requests / makespan.  The
+// ideal is min(1, banks/busyTime).
+func (m *Memory) Bandwidth() float64 {
+	if m.LastDone == 0 {
+		return 0
+	}
+	return float64(m.Requests) / float64(m.LastDone)
+}
+
+// ConflictRatio returns the fraction of requests that waited.
+func (m *Memory) ConflictRatio() float64 {
+	if m.Requests == 0 {
+		return 0
+	}
+	return float64(m.Conflicts) / float64(m.Requests)
+}

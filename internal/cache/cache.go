@@ -1,0 +1,440 @@
+// Package cache implements the cache organizations evaluated by the
+// paper and its companion study [10]: direct-mapped, set-associative and
+// fully-associative caches with pluggable placement functions (including
+// skewed and I-Poly placements), victim caches, and column-associative /
+// hash-rehash caches with polynomial rehashing.
+//
+// Caches are behavioural models: they track tags, hit/miss outcomes,
+// evictions and write traffic, but hold no data.  Timing is layered on
+// top by the CPU model (package cpu) and the MSHR/bus models (package
+// mshr).
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/index"
+	"repro/internal/rng"
+)
+
+// ReplPolicy selects a replacement policy.
+type ReplPolicy int
+
+// Replacement policies.  PLRU (tree pseudo-LRU) requires a non-skewed
+// placement and a power-of-two way count; the others work everywhere,
+// including skewed caches where the candidate lines live in different
+// sets per way.
+const (
+	LRU ReplPolicy = iota
+	FIFO
+	Random
+	PLRU
+)
+
+// String returns the policy name.
+func (p ReplPolicy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case FIFO:
+		return "fifo"
+	case Random:
+		return "random"
+	case PLRU:
+		return "plru"
+	}
+	return fmt.Sprintf("repl(%d)", int(p))
+}
+
+// Config describes a cache.
+type Config struct {
+	// Name labels the cache in diagnostics (optional).
+	Name string
+	// Size is the total capacity in bytes.
+	Size int
+	// BlockSize is the line size in bytes (power of two).
+	BlockSize int
+	// Ways is the associativity; Size/BlockSize/Ways sets result.
+	Ways int
+	// Placement maps block addresses to set indices.  If nil, a
+	// conventional modulo placement over the implied set count is used.
+	Placement index.Placement
+	// Replacement selects the victim-choice policy (default LRU).
+	Replacement ReplPolicy
+	// WriteBack selects write-back (true) or write-through (false).
+	WriteBack bool
+	// WriteAllocate controls whether store misses fill the cache.  The
+	// paper's L1 is write-through non-allocating.
+	WriteAllocate bool
+	// Seed seeds the Random replacement policy.
+	Seed uint64
+}
+
+// SetBits returns log2 of the implied number of sets.
+func (c Config) SetBits() int {
+	sets := c.numSets()
+	return bits.TrailingZeros(uint(sets))
+}
+
+func (c Config) numSets() int {
+	if c.Size <= 0 || c.BlockSize <= 0 || c.Ways <= 0 {
+		panic("cache: Size, BlockSize and Ways must be positive")
+	}
+	if c.BlockSize&(c.BlockSize-1) != 0 {
+		panic("cache: BlockSize must be a power of two")
+	}
+	blocks := c.Size / c.BlockSize
+	if blocks*c.BlockSize != c.Size {
+		panic("cache: Size must be a multiple of BlockSize")
+	}
+	sets := blocks / c.Ways
+	if sets*c.Ways != blocks {
+		panic("cache: block count must be a multiple of Ways")
+	}
+	if sets&(sets-1) != 0 {
+		panic("cache: set count must be a power of two")
+	}
+	return sets
+}
+
+// line is one cache line's metadata.
+type line struct {
+	block    uint64 // full block address (tag)
+	valid    bool
+	dirty    bool
+	lastUse  uint64
+	inserted uint64
+}
+
+// Stats accumulates access outcomes.
+type Stats struct {
+	Accesses    uint64
+	Hits        uint64
+	Misses      uint64
+	ReadHits    uint64
+	ReadMisses  uint64
+	WriteHits   uint64
+	WriteMiss   uint64
+	Evictions   uint64 // valid lines displaced by fills
+	Writebacks  uint64 // dirty evictions (write-back caches)
+	Invalidates uint64
+	Fills       uint64
+}
+
+// MissRatio returns Misses/Accesses, or 0 with no accesses.
+func (s Stats) MissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// ReadMissRatio returns the load miss ratio (the paper's tables report
+// load misses).
+func (s Stats) ReadMissRatio() float64 {
+	reads := s.ReadHits + s.ReadMisses
+	if reads == 0 {
+		return 0
+	}
+	return float64(s.ReadMisses) / float64(reads)
+}
+
+// Result reports the outcome of one access.
+type Result struct {
+	Hit          bool
+	Set          uint64 // set index used (way-specific for skewed hits/fills)
+	Way          int
+	Filled       bool   // a line was installed
+	Evicted      uint64 // block displaced by the fill
+	EvictedValid bool
+	EvictedDirty bool
+}
+
+// Cache is a set-associative cache with a pluggable placement function.
+// It is not safe for concurrent use.
+type Cache struct {
+	cfg     Config
+	place   index.Placement
+	sets    int
+	ways    int
+	offBits int
+	// lines[w][s] is the line in way w at set s.
+	lines [][]line
+	// plruBits[s] holds tree-PLRU state for set s (non-skewed only).
+	plruBits []uint64
+	clock    uint64
+	rnd      *rng.RNG
+	stats    Stats
+
+	// OnEvict, if non-nil, is called with the block address whenever a
+	// valid line is evicted or invalidated.  The hierarchy package uses
+	// it to enforce Inclusion (§3.2).
+	OnEvict func(block uint64, dirty bool)
+}
+
+// New builds a cache from cfg.  It panics on invalid geometry, on a
+// placement whose set count disagrees with the geometry, or on PLRU with
+// a skewed placement.
+func New(cfg Config) *Cache {
+	sets := cfg.numSets()
+	place := cfg.Placement
+	if place == nil {
+		place = index.NewModulo(bits.TrailingZeros(uint(sets)))
+	}
+	if place.Sets() != sets {
+		panic(fmt.Sprintf("cache: placement has %d sets, geometry implies %d", place.Sets(), sets))
+	}
+	if cfg.Replacement == PLRU {
+		if place.Skewed() {
+			panic("cache: PLRU requires a non-skewed placement")
+		}
+		if cfg.Ways&(cfg.Ways-1) != 0 {
+			panic("cache: PLRU requires power-of-two ways")
+		}
+	}
+	c := &Cache{
+		cfg:     cfg,
+		place:   place,
+		sets:    sets,
+		ways:    cfg.Ways,
+		offBits: bits.TrailingZeros(uint(cfg.BlockSize)),
+		rnd:     rng.New(cfg.Seed ^ 0xCAFE),
+	}
+	c.lines = make([][]line, c.ways)
+	for w := range c.lines {
+		c.lines[w] = make([]line, sets)
+	}
+	if cfg.Replacement == PLRU {
+		c.plruBits = make([]uint64, sets)
+	}
+	return c
+}
+
+// Config returns the configuration the cache was built with.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Placement returns the placement function in use.
+func (c *Cache) Placement() index.Placement { return c.place }
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the statistics without disturbing contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Block converts a byte address to a block address.
+func (c *Cache) Block(addr uint64) uint64 { return addr >> uint(c.offBits) }
+
+// Access performs a read (write=false) or write (write=true) of the byte
+// address addr, updating state and statistics, and reports the outcome.
+func (c *Cache) Access(addr uint64, write bool) Result {
+	return c.AccessBlock(c.Block(addr), write)
+}
+
+// AccessBlock is Access for a pre-computed block address.
+func (c *Cache) AccessBlock(block uint64, write bool) Result {
+	c.clock++
+	c.stats.Accesses++
+	if w, s, ok := c.lookup(block); ok {
+		c.stats.Hits++
+		if write {
+			c.stats.WriteHits++
+			if c.cfg.WriteBack {
+				c.lines[w][s].dirty = true
+			}
+		} else {
+			c.stats.ReadHits++
+		}
+		c.touch(w, s)
+		return Result{Hit: true, Set: s, Way: w}
+	}
+	c.stats.Misses++
+	if write {
+		c.stats.WriteMiss++
+	} else {
+		c.stats.ReadMisses++
+	}
+	if write && !c.cfg.WriteAllocate {
+		// Write-through non-allocating store miss: no fill.
+		return Result{Hit: false}
+	}
+	res := c.fill(block)
+	if write && c.cfg.WriteBack {
+		c.lines[res.Way][res.Set].dirty = true
+	}
+	return res
+}
+
+// Probe reports whether block (a block address) is present, without
+// changing any state or statistics.
+func (c *Cache) Probe(block uint64) bool {
+	_, _, ok := c.lookup(block)
+	return ok
+}
+
+// Invalidate removes block (a block address) if present, returning true
+// when a line was dropped.  The OnEvict hook is NOT called (invalidation
+// is itself usually a downward coherence action).
+func (c *Cache) Invalidate(block uint64) bool {
+	if w, s, ok := c.lookup(block); ok {
+		c.lines[w][s] = line{}
+		c.stats.Invalidates++
+		return true
+	}
+	return false
+}
+
+// Flush invalidates every line (e.g. when the indexing function changes,
+// §3.1 option 2).
+func (c *Cache) Flush() {
+	for w := range c.lines {
+		for s := range c.lines[w] {
+			c.lines[w][s] = line{}
+		}
+	}
+}
+
+// Contents returns the block addresses of all valid lines, for inclusion
+// audits.
+func (c *Cache) Contents() []uint64 {
+	var out []uint64
+	for w := range c.lines {
+		for s := range c.lines[w] {
+			if c.lines[w][s].valid {
+				out = append(out, c.lines[w][s].block)
+			}
+		}
+	}
+	return out
+}
+
+// Occupancy returns the number of valid lines.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for w := range c.lines {
+		for s := range c.lines[w] {
+			if c.lines[w][s].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// lookup scans every way for block, returning the (way, set) on hit.
+func (c *Cache) lookup(block uint64) (way int, set uint64, ok bool) {
+	for w := 0; w < c.ways; w++ {
+		s := c.place.SetIndex(block, w)
+		ln := &c.lines[w][s]
+		if ln.valid && ln.block == block {
+			return w, s, true
+		}
+	}
+	return 0, 0, false
+}
+
+// fill installs block, evicting a victim chosen by the replacement
+// policy.
+func (c *Cache) fill(block uint64) Result {
+	w := c.victimWay(block)
+	s := c.place.SetIndex(block, w)
+	victim := c.lines[w][s]
+	res := Result{Set: s, Way: w, Filled: true}
+	if victim.valid {
+		res.Evicted = victim.block
+		res.EvictedValid = true
+		res.EvictedDirty = victim.dirty
+		c.stats.Evictions++
+		if victim.dirty {
+			c.stats.Writebacks++
+		}
+		if c.OnEvict != nil {
+			c.OnEvict(victim.block, victim.dirty)
+		}
+	}
+	c.lines[w][s] = line{block: block, valid: true, lastUse: c.clock, inserted: c.clock}
+	c.stats.Fills++
+	c.touch(w, s)
+	return res
+}
+
+// victimWay picks the way to fill for block.
+func (c *Cache) victimWay(block uint64) int {
+	// Prefer an invalid candidate line.
+	for w := 0; w < c.ways; w++ {
+		s := c.place.SetIndex(block, w)
+		if !c.lines[w][s].valid {
+			return w
+		}
+	}
+	switch c.cfg.Replacement {
+	case FIFO:
+		best, bestAge := 0, ^uint64(0)
+		for w := 0; w < c.ways; w++ {
+			s := c.place.SetIndex(block, w)
+			if t := c.lines[w][s].inserted; t < bestAge {
+				best, bestAge = w, t
+			}
+		}
+		return best
+	case Random:
+		return c.rnd.Intn(c.ways)
+	case PLRU:
+		s := c.place.SetIndex(block, 0)
+		return c.plruVictim(s)
+	default: // LRU
+		best, bestAge := 0, ^uint64(0)
+		for w := 0; w < c.ways; w++ {
+			s := c.place.SetIndex(block, w)
+			if t := c.lines[w][s].lastUse; t < bestAge {
+				best, bestAge = w, t
+			}
+		}
+		return best
+	}
+}
+
+// touch updates recency state after a hit or fill.
+func (c *Cache) touch(w int, s uint64) {
+	c.lines[w][s].lastUse = c.clock
+	if c.cfg.Replacement == PLRU {
+		c.plruTouch(s, w)
+	}
+}
+
+// Tree-PLRU over a power-of-two way count: internal nodes of a binary
+// tree are single bits; following 0/1 according to the bits finds the
+// pseudo-LRU way, and touching a way sets the bits along its path to
+// point away from it.
+
+func (c *Cache) plruVictim(s uint64) int {
+	bitsState := c.plruBits[s]
+	node := 0
+	for span := c.ways; span > 1; span /= 2 {
+		b := bitsState >> uint(node) & 1
+		node = 2*node + 1 + int(b)
+	}
+	return node - (c.ways - 1)
+}
+
+func (c *Cache) plruTouch(s uint64, way int) {
+	// Walk from the root toward way, setting each bit to point to the
+	// OTHER subtree.
+	node := 0
+	lo, hi := 0, c.ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if way < mid {
+			// way is in the left subtree: point the bit right (1) and
+			// descend left.
+			c.plruBits[s] |= 1 << uint(node)
+			node = 2*node + 1
+			hi = mid
+		} else {
+			c.plruBits[s] &^= 1 << uint(node)
+			node = 2*node + 2
+			lo = mid
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package cache
+
+import "testing"
+
+func dmConfig(size int) Config {
+	return Config{Size: size, BlockSize: 32, Ways: 1, WriteAllocate: true}
+}
+
+func TestVictimCacheRecoversConflicts(t *testing.T) {
+	// Two blocks that alias in a direct-mapped cache ping-pong without a
+	// victim buffer but co-reside with one.
+	v := NewVictimCache(dmConfig(1024), 4)
+	A, B := uint64(0), uint64(1024)
+	v.Access(A, false)
+	v.Access(B, false) // evicts A into the buffer
+	for i := 0; i < 10; i++ {
+		v.Access(A, false)
+		v.Access(B, false)
+	}
+	s := v.Stats()
+	if s.Misses != 2 {
+		t.Errorf("only the two cold misses expected, got %+v", s)
+	}
+	if v.VictimHits == 0 {
+		t.Error("victim buffer never hit")
+	}
+}
+
+func TestVictimCacheStatsPartition(t *testing.T) {
+	v := NewVictimCache(dmConfig(1024), 4)
+	v.Access(0, false)
+	v.Access(0, true)
+	v.Access(32, true)
+	s := v.Stats()
+	if s.Accesses != 3 || s.Hits != 1 || s.Misses != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.ReadMisses != 1 || s.WriteMiss != 1 || s.WriteHits != 1 || s.ReadHits != 0 {
+		t.Errorf("breakdown = %+v", s)
+	}
+}
+
+func TestVictimBufferCapacityBound(t *testing.T) {
+	// With a 1-entry buffer, a 3-way ping-pong still misses.
+	v := NewVictimCache(dmConfig(1024), 1)
+	addrs := []uint64{0, 1024, 2048}
+	for i := 0; i < 5; i++ {
+		for _, a := range addrs {
+			v.Access(a, false)
+		}
+	}
+	s := v.Stats()
+	if s.Misses < 10 {
+		t.Errorf("1-entry buffer cannot absorb a 3-way conflict: %+v", s)
+	}
+}
+
+func TestVictimCachePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewVictimCache(dmConfig(1024), 0)
+}
+
+func TestVictimMainStatsExposed(t *testing.T) {
+	v := NewVictimCache(dmConfig(1024), 4)
+	v.Access(0, false)
+	if v.MainStats().Accesses == 0 {
+		t.Error("main stats not recorded")
+	}
+}

@@ -1,0 +1,238 @@
+// Package core is the top-level library API for the conflict-avoiding
+// cache of Topham, González & González (MICRO-30, 1997): a set-associative
+// cache whose placement function is a bank of irreducible-polynomial
+// modulus (I-Poly) hash functions over GF(2).
+//
+// The package composes the lower-level building blocks (gf2 polynomial
+// arithmetic, index placement functions, the behavioural cache model)
+// into a single constructor with validated options, and exposes the
+// hardware-oriented views a cache designer needs: the XOR gate network
+// per index bit, fan-in audits, and stride-conflict analysis.
+//
+// Quick start:
+//
+//	c, err := core.New(core.Spec{SizeBytes: 8 << 10, BlockBytes: 32, Ways: 2})
+//	...
+//	res := c.Access(addr, core.Load)
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/gf2"
+	"repro/internal/index"
+)
+
+// Kind selects the access type for Cache.Access.
+type Kind bool
+
+// Access kinds.
+const (
+	Load  Kind = false
+	Store Kind = true
+)
+
+// Indexing names the placement family for Spec.
+type Indexing string
+
+// Supported indexing families.
+const (
+	// IPolySkewed is the paper's recommended configuration: a distinct
+	// irreducible polynomial per way (default).
+	IPolySkewed Indexing = "ipoly-skewed"
+	// IPolyShared uses one irreducible polynomial for all ways.
+	IPolyShared Indexing = "ipoly"
+	// Conventional is modulo-power-of-two placement (for baselines).
+	Conventional Indexing = "conventional"
+)
+
+// Spec describes a conflict-avoiding cache.
+type Spec struct {
+	// SizeBytes is the total capacity (power-of-two multiple of BlockBytes).
+	SizeBytes int
+	// BlockBytes is the line size (power of two; the paper uses 32).
+	BlockBytes int
+	// Ways is the associativity (the paper uses 2).
+	Ways int
+	// Indexing selects the placement family (default IPolySkewed).
+	Indexing Indexing
+	// AddressBits is the number of low address bits available to the
+	// hash (default 19, the paper's pipeline-driven choice; must exceed
+	// log2(sets)+log2(BlockBytes)).
+	AddressBits int
+	// Polynomials optionally overrides the modulus polynomials (one per
+	// way for IPolySkewed, exactly one for IPolyShared).  Each must be
+	// of degree log2(sets).  Leave nil for the canonical irreducible
+	// defaults.
+	Polynomials []gf2.Poly
+	// Replacement selects the victim policy (default LRU).
+	Replacement cache.ReplPolicy
+	// WriteBack and WriteAllocate select the write policy (default
+	// write-through, no-write-allocate, as in the paper's L1).
+	WriteBack, WriteAllocate bool
+}
+
+// Cache is a conflict-avoiding cache instance.
+type Cache struct {
+	inner *cache.Cache
+	spec  Spec
+	ipoly *index.IPoly // nil for Conventional
+}
+
+// New validates spec and builds the cache.
+func New(spec Spec) (*Cache, error) {
+	if spec.Indexing == "" {
+		spec.Indexing = IPolySkewed
+	}
+	if spec.AddressBits == 0 {
+		spec.AddressBits = 19
+	}
+	if spec.SizeBytes <= 0 || spec.BlockBytes <= 0 || spec.Ways <= 0 {
+		return nil, fmt.Errorf("core: SizeBytes, BlockBytes and Ways must be positive")
+	}
+	if spec.BlockBytes&(spec.BlockBytes-1) != 0 {
+		return nil, fmt.Errorf("core: BlockBytes %d must be a power of two", spec.BlockBytes)
+	}
+	blocks := spec.SizeBytes / spec.BlockBytes
+	if blocks*spec.BlockBytes != spec.SizeBytes || blocks%spec.Ways != 0 {
+		return nil, fmt.Errorf("core: geometry %d/%d/%d does not divide evenly",
+			spec.SizeBytes, spec.BlockBytes, spec.Ways)
+	}
+	sets := blocks / spec.Ways
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("core: set count %d must be a power of two", sets)
+	}
+	setBits := 0
+	for s := sets; s > 1; s >>= 1 {
+		setBits++
+	}
+	blockBits := 0
+	for b := spec.BlockBytes; b > 1; b >>= 1 {
+		blockBits++
+	}
+	vbits := spec.AddressBits - blockBits
+	if spec.Indexing != Conventional && vbits <= setBits {
+		return nil, fmt.Errorf("core: AddressBits %d leaves %d hash bits; need more than %d index bits",
+			spec.AddressBits, vbits, setBits)
+	}
+
+	var place index.Placement
+	var ip *index.IPoly
+	switch spec.Indexing {
+	case Conventional:
+		place = index.NewModulo(setBits)
+	case IPolyShared, IPolySkewed:
+		polys := spec.Polynomials
+		if polys == nil {
+			n := 1
+			if spec.Indexing == IPolySkewed {
+				n = spec.Ways
+			}
+			polys = gf2.Irreducibles(setBits, n)
+		}
+		if spec.Indexing == IPolyShared && len(polys) != 1 {
+			return nil, fmt.Errorf("core: IPolyShared needs exactly one polynomial, got %d", len(polys))
+		}
+		for _, p := range polys {
+			if p.Degree() != setBits {
+				return nil, fmt.Errorf("core: polynomial %v has degree %d, want %d", p, p.Degree(), setBits)
+			}
+		}
+		ip = index.NewIPoly(polys, setBits, vbits)
+		place = ip
+	default:
+		return nil, fmt.Errorf("core: unknown indexing %q", spec.Indexing)
+	}
+
+	inner := cache.New(cache.Config{
+		Size: spec.SizeBytes, BlockSize: spec.BlockBytes, Ways: spec.Ways,
+		Placement:     place,
+		Replacement:   spec.Replacement,
+		WriteBack:     spec.WriteBack,
+		WriteAllocate: spec.WriteAllocate,
+	})
+	return &Cache{inner: inner, spec: spec, ipoly: ip}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(spec Spec) *Cache {
+	c, err := New(spec)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Access performs one load or store at the byte address and reports
+// whether it hit.
+func (c *Cache) Access(addr uint64, k Kind) bool {
+	return c.inner.Access(addr, bool(k)).Hit
+}
+
+// Stats returns accumulated statistics.
+func (c *Cache) Stats() cache.Stats { return c.inner.Stats() }
+
+// ResetStats clears counters without disturbing contents.
+func (c *Cache) ResetStats() { c.inner.ResetStats() }
+
+// Flush invalidates all contents (e.g. on an indexing-function change,
+// §3.1 option 2).
+func (c *Cache) Flush() { c.inner.Flush() }
+
+// Spec returns the validated specification.
+func (c *Cache) Spec() Spec { return c.spec }
+
+// Sets returns the number of cache sets.
+func (c *Cache) Sets() int { return c.inner.Placement().Sets() }
+
+// Polynomials returns the modulus polynomials in use (nil for
+// conventional indexing).
+func (c *Cache) Polynomials() []gf2.Poly {
+	if c.ipoly == nil {
+		return nil
+	}
+	return c.ipoly.Polys()
+}
+
+// GateNetwork renders the per-way XOR networks computing the index bits,
+// in hardware-description form (§3: "bit 0 of the cache index may be
+// computed as the exclusive-OR of bits 0, 11, 14, and 19").  It returns
+// "" for conventional indexing.
+func (c *Cache) GateNetwork() string {
+	if c.ipoly == nil {
+		return ""
+	}
+	out := ""
+	for w, p := range c.ipoly.Polys() {
+		out += fmt.Sprintf("way %d: P(x) = %v\n%s", w, p, c.ipoly.Matrix(w).GateDescription())
+	}
+	return out
+}
+
+// MaxXORFanIn returns the widest XOR gate needed by the index network
+// (the paper reports <= 5 for its configurations); 0 for conventional
+// indexing.
+func (c *Cache) MaxXORFanIn() int {
+	if c.ipoly == nil {
+		return 0
+	}
+	return c.ipoly.MaxFanIn()
+}
+
+// StrideConflictFree reports whether walking `count` blocks with the
+// given block stride from base touches `count` distinct sets in way 0 —
+// the §2.1.2 conflict-freedom property (guaranteed for strides 2^k when
+// count <= sets).
+func (c *Cache) StrideConflictFree(base, blockStride uint64, count int) bool {
+	place := c.inner.Placement()
+	seen := make(map[uint64]struct{}, count)
+	for i := 0; i < count; i++ {
+		idx := place.SetIndex(base+uint64(i)*blockStride, 0)
+		if _, dup := seen[idx]; dup {
+			return false
+		}
+		seen[idx] = struct{}{}
+	}
+	return true
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gf2"
+)
+
+func paperSpec() Spec {
+	return Spec{SizeBytes: 8 << 10, BlockBytes: 32, Ways: 2}
+}
+
+func TestNewDefaults(t *testing.T) {
+	c, err := New(paperSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Sets() != 128 {
+		t.Errorf("Sets = %d", c.Sets())
+	}
+	if got := c.Spec().Indexing; got != IPolySkewed {
+		t.Errorf("default indexing = %q", got)
+	}
+	ps := c.Polynomials()
+	if len(ps) != 2 || ps[0] == ps[1] {
+		t.Errorf("expected 2 distinct polynomials, got %v", ps)
+	}
+	for _, p := range ps {
+		if !gf2.Irreducible(p) || p.Degree() != 7 {
+			t.Errorf("bad default polynomial %v", p)
+		}
+	}
+}
+
+func TestAccessAndStats(t *testing.T) {
+	c := MustNew(paperSpec())
+	if c.Access(0x1000, Load) {
+		t.Error("cold load hit")
+	}
+	if !c.Access(0x1000, Load) {
+		t.Error("warm load missed")
+	}
+	if !c.Access(0x1008, Store) {
+		t.Error("store to resident line missed")
+	}
+	s := c.Stats()
+	if s.Accesses != 3 || s.Hits != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+	c.ResetStats()
+	if c.Stats().Accesses != 0 {
+		t.Error("ResetStats failed")
+	}
+	c.Flush()
+	if c.Access(0x1000, Load) {
+		t.Error("hit after Flush")
+	}
+}
+
+func TestConventionalBaseline(t *testing.T) {
+	spec := paperSpec()
+	spec.Indexing = Conventional
+	c := MustNew(spec)
+	if c.Polynomials() != nil || c.GateNetwork() != "" || c.MaxXORFanIn() != 0 {
+		t.Error("conventional cache should expose no polynomial machinery")
+	}
+	// Thrash check: 4 blocks 8 KB apart collide in one set.
+	for r := 0; r < 10; r++ {
+		for i := uint64(0); i < 4; i++ {
+			c.Access(i*8192, Load)
+		}
+	}
+	if mr := c.Stats().MissRatio(); mr < 0.9 {
+		t.Errorf("conventional should thrash: %.2f", mr)
+	}
+}
+
+func TestIPolyAvoidsThrash(t *testing.T) {
+	c := MustNew(paperSpec())
+	for r := 0; r < 10; r++ {
+		for i := uint64(0); i < 4; i++ {
+			c.Access(i*8192, Load)
+		}
+	}
+	if mr := c.Stats().MissRatio(); mr > 0.3 {
+		t.Errorf("I-Poly should avoid the 8KB-stride pathology: %.2f", mr)
+	}
+}
+
+func TestGateNetworkAndFanIn(t *testing.T) {
+	c := MustNew(paperSpec())
+	gn := c.GateNetwork()
+	if !strings.Contains(gn, "way 0") || !strings.Contains(gn, "index[0]") {
+		t.Errorf("gate network incomplete:\n%s", gn)
+	}
+	if f := c.MaxXORFanIn(); f < 2 || f > 7 {
+		t.Errorf("MaxXORFanIn = %d implausible", f)
+	}
+}
+
+func TestStrideConflictFreedom(t *testing.T) {
+	c := MustNew(paperSpec())
+	// §2.1.2: all power-of-two block strides are conflict-free for
+	// M-long subsequences.
+	for k := uint(0); k <= 6; k++ {
+		if !c.StrideConflictFree(0, 1<<k, 128) {
+			t.Errorf("stride 2^%d not conflict-free", k)
+		}
+	}
+	// The conventional function degenerates on stride = sets.
+	spec := paperSpec()
+	spec.Indexing = Conventional
+	conv := MustNew(spec)
+	if conv.StrideConflictFree(0, 128, 128) {
+		t.Error("conventional placement cannot be conflict-free on stride 128")
+	}
+}
+
+func TestCustomPolynomials(t *testing.T) {
+	spec := paperSpec()
+	spec.Polynomials = gf2.Irreducibles(7, 2)
+	c, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c.Polynomials()
+	want := gf2.Irreducibles(7, 2)
+	if got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("polynomials not honoured: %v", got)
+	}
+}
+
+func TestSharedPolynomial(t *testing.T) {
+	spec := paperSpec()
+	spec.Indexing = IPolyShared
+	c := MustNew(spec)
+	if len(c.Polynomials()) != 1 {
+		t.Errorf("shared indexing should have one polynomial: %v", c.Polynomials())
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []Spec{
+		{SizeBytes: 0, BlockBytes: 32, Ways: 2},
+		{SizeBytes: 8192, BlockBytes: 48, Ways: 2},                             // non-pow2 block
+		{SizeBytes: 8192, BlockBytes: 32, Ways: 5},                             // uneven ways... 256/5
+		{SizeBytes: 8192, BlockBytes: 32, Ways: 2, AddressBits: 10},            // too few hash bits
+		{SizeBytes: 8192, BlockBytes: 32, Ways: 2, Indexing: "martian"},        // unknown scheme
+		{SizeBytes: 8192, BlockBytes: 32, Ways: 2, Polynomials: []gf2.Poly{3}}, // wrong degree
+		{SizeBytes: 8192, BlockBytes: 32, Ways: 2, Indexing: IPolyShared,
+			Polynomials: gf2.Irreducibles(7, 2)}, // shared wants exactly 1
+	}
+	for i, s := range bad {
+		if _, err := New(s); err == nil {
+			t.Errorf("spec %d should fail validation", i)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MustNew(Spec{SizeBytes: -1, BlockBytes: 32, Ways: 2})
+}

@@ -1,0 +1,83 @@
+package cpu
+
+// AddressPredictor is the §3.4/§4 memory address prediction table: a
+// direct-mapped, TAGLESS table indexed by instruction address.  Each
+// entry holds the last effective address seen by the load that hashed
+// there, the last observed stride, and a 2-bit saturating confidence
+// counter.  A prediction is only used when the counter's most-significant
+// bit is set (>= 2).  The address field is updated on every reference;
+// the stride field only when the counter is below 10b — exactly the
+// paper's update policy.  Taglessness means distinct loads can interfere,
+// which the paper accepts to reduce cost.
+type AddressPredictor struct {
+	last   []uint64
+	stride []int64
+	conf   []uint8
+	mask   uint64
+
+	Predictions uint64 // confident predictions issued
+	Correct     uint64 // confident predictions that matched
+}
+
+// NewAddressPredictor returns a predictor with the given entry count
+// (power of two; the paper uses 1K).
+func NewAddressPredictor(entries int) *AddressPredictor {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("cpu: address predictor entries must be a positive power of two")
+	}
+	return &AddressPredictor{
+		last:   make([]uint64, entries),
+		stride: make([]int64, entries),
+		conf:   make([]uint8, entries),
+		mask:   uint64(entries - 1),
+	}
+}
+
+func (a *AddressPredictor) idx(pc uint64) uint64 { return (pc >> 2) & a.mask }
+
+// Predict returns the predicted effective address for the load at pc and
+// whether the prediction is confident enough to use.
+func (a *AddressPredictor) Predict(pc uint64) (addr uint64, confident bool) {
+	i := a.idx(pc)
+	return a.last[i] + uint64(a.stride[i]), a.conf[i] >= 2
+}
+
+// Update trains the entry with the actual effective address.  wasConfident
+// and predicted describe the prediction made earlier for this instance,
+// so accuracy stats stay consistent even with table interference.
+func (a *AddressPredictor) Update(pc, actual uint64, predicted uint64, wasConfident bool) {
+	if wasConfident {
+		a.Predictions++
+		if predicted == actual {
+			a.Correct++
+		}
+	}
+	i := a.idx(pc)
+	newStride := int64(actual) - int64(a.last[i])
+	matched := a.last[i]+uint64(a.stride[i]) == actual
+	if matched {
+		if a.conf[i] < 3 {
+			a.conf[i]++
+		}
+	} else {
+		if a.conf[i] > 0 {
+			a.conf[i]--
+		}
+		// The stride field is only updated while confidence is low
+		// (below 10b), protecting a established stride from one-off
+		// disturbances.
+		if a.conf[i] < 2 {
+			a.stride[i] = newStride
+		}
+	}
+	a.last[i] = actual
+}
+
+// HitRate returns the fraction of confident predictions that were
+// correct.
+func (a *AddressPredictor) HitRate() float64 {
+	if a.Predictions == 0 {
+		return 0
+	}
+	return float64(a.Correct) / float64(a.Predictions)
+}

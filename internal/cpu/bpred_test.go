@@ -1,0 +1,162 @@
+package cpu
+
+import "testing"
+
+func TestBranchPredictorLearnsBias(t *testing.T) {
+	b := NewBranchPredictor(2048)
+	pc := uint64(0x4000)
+	// Always-taken branch: after warmup, predictions must be taken.
+	for i := 0; i < 10; i++ {
+		p := b.Predict(pc)
+		b.Update(pc, true, p)
+	}
+	if !b.Predict(pc) {
+		t.Error("predictor failed to learn always-taken")
+	}
+	// Now invert: it should eventually flip.
+	for i := 0; i < 10; i++ {
+		p := b.Predict(pc)
+		b.Update(pc, false, p)
+	}
+	if b.Predict(pc) {
+		t.Error("predictor failed to re-learn not-taken")
+	}
+}
+
+func TestBranchPredictorHysteresis(t *testing.T) {
+	b := NewBranchPredictor(64)
+	pc := uint64(0x100)
+	for i := 0; i < 8; i++ {
+		p := b.Predict(pc)
+		b.Update(pc, true, p)
+	}
+	// One not-taken blip must not flip a saturated taken counter.
+	p := b.Predict(pc)
+	b.Update(pc, false, p)
+	if !b.Predict(pc) {
+		t.Error("single blip flipped a saturated 2-bit counter")
+	}
+}
+
+func TestBranchPredictorAccuracyAccounting(t *testing.T) {
+	b := NewBranchPredictor(64)
+	pc := uint64(0x200)
+	for i := 0; i < 100; i++ {
+		p := b.Predict(pc)
+		b.Update(pc, true, p)
+	}
+	if acc := b.Accuracy(); acc < 0.9 {
+		t.Errorf("accuracy on constant branch = %v", acc)
+	}
+	if b.Lookups != 100 {
+		t.Errorf("Lookups = %d", b.Lookups)
+	}
+}
+
+func TestBranchPredictorDistinctPCs(t *testing.T) {
+	b := NewBranchPredictor(2048)
+	// Train two branches with opposite outcomes; both must be learned.
+	for i := 0; i < 10; i++ {
+		p1 := b.Predict(0x1000)
+		b.Update(0x1000, true, p1)
+		p2 := b.Predict(0x2000)
+		b.Update(0x2000, false, p2)
+	}
+	if !b.Predict(0x1000) || b.Predict(0x2000) {
+		t.Error("aliasing destroyed independent branch state")
+	}
+}
+
+func TestBranchPredictorPanics(t *testing.T) {
+	for _, n := range []int{0, 3, -8} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("entries=%d should panic", n)
+				}
+			}()
+			NewBranchPredictor(n)
+		}()
+	}
+}
+
+func TestAddressPredictorLearnsStride(t *testing.T) {
+	a := NewAddressPredictor(1024)
+	pc := uint64(0x5000)
+	addr := uint64(0x10000)
+	const stride = 64
+	for i := 0; i < 6; i++ {
+		pred, conf := a.Predict(pc)
+		a.Update(pc, addr, pred, conf)
+		addr += stride
+	}
+	pred, conf := a.Predict(pc)
+	if !conf {
+		t.Fatal("predictor not confident after steady stride")
+	}
+	if pred != addr {
+		t.Errorf("predicted %#x, want %#x", pred, addr)
+	}
+}
+
+func TestAddressPredictorConfidenceGate(t *testing.T) {
+	a := NewAddressPredictor(64)
+	pc := uint64(0x100)
+	// Random-looking addresses: must not become confident.
+	addrs := []uint64{0x1000, 0x5400, 0x2345, 0x9000, 0x1111, 0x8888}
+	for _, ad := range addrs {
+		pred, conf := a.Predict(pc)
+		if conf {
+			t.Fatal("became confident on erratic addresses")
+		}
+		a.Update(pc, ad, pred, conf)
+	}
+}
+
+func TestAddressPredictorStrideProtection(t *testing.T) {
+	// Once confident, one disturbance must not clobber the stride: the
+	// stride field is only rewritten while confidence is low.
+	a := NewAddressPredictor(64)
+	pc := uint64(0x300)
+	addr := uint64(0x40000)
+	for i := 0; i < 8; i++ {
+		pred, conf := a.Predict(pc)
+		a.Update(pc, addr, pred, conf)
+		addr += 32
+	}
+	// Disturbance.
+	pred, conf := a.Predict(pc)
+	a.Update(pc, 0xDEAD0000, pred, conf)
+	// Resume the pattern from the disturbed address: stride 32 is intact,
+	// so prediction = 0xDEAD0000 + 32.
+	pred, _ = a.Predict(pc)
+	if pred != 0xDEAD0000+32 {
+		t.Errorf("stride clobbered: predicted %#x", pred)
+	}
+}
+
+func TestAddressPredictorHitRate(t *testing.T) {
+	a := NewAddressPredictor(64)
+	if a.HitRate() != 0 {
+		t.Error("empty predictor HitRate should be 0")
+	}
+	pc := uint64(0x700)
+	addr := uint64(0)
+	for i := 0; i < 50; i++ {
+		pred, conf := a.Predict(pc)
+		a.Update(pc, addr, pred, conf)
+		addr += 8
+	}
+	if a.HitRate() < 0.9 {
+		t.Errorf("HitRate = %v on steady stride", a.HitRate())
+	}
+}
+
+func TestAddressPredictorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewAddressPredictor(100)
+}

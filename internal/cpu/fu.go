@@ -1,0 +1,88 @@
+package cpu
+
+import "repro/internal/trace"
+
+// Functional-unit model per Table 1 of the paper:
+//
+//	1 simple integer        latency 1   repeat 1
+//	1 complex integer       multiply 9/1, divide 67/67
+//	2 effective address     latency 1   repeat 1
+//	1 simple FP             latency 4   repeat 1
+//	1 FP multiplication     latency 4   repeat 1
+//	1 FP divide & sqrt      divide 16/16, sqrt 35/35
+//
+// Branches execute on the simple integer unit.
+
+// unitKind enumerates the unit pools.
+type unitKind int
+
+const (
+	unitIntSimple unitKind = iota
+	unitIntComplex
+	unitEffAddr
+	unitFPSimple
+	unitFPMul
+	unitFPDiv
+	numUnitKinds
+)
+
+// opTiming returns the unit pool, latency and repeat rate for an op.
+func opTiming(op trace.Op) (kind unitKind, latency, repeat uint64) {
+	switch op {
+	case trace.OpIntALU, trace.OpBranch:
+		return unitIntSimple, 1, 1
+	case trace.OpIntMul:
+		return unitIntComplex, 9, 1
+	case trace.OpIntDiv:
+		return unitIntComplex, 67, 67
+	case trace.OpFPALU:
+		return unitFPSimple, 4, 1
+	case trace.OpFPMul:
+		return unitFPMul, 4, 1
+	case trace.OpFPDiv:
+		return unitFPDiv, 16, 16
+	case trace.OpFPSqrt:
+		return unitFPDiv, 35, 35
+	case trace.OpLoad, trace.OpStore:
+		return unitEffAddr, 1, 1
+	}
+	panic("cpu: unknown op")
+}
+
+// fuPool tracks per-unit next-free cycles for the paper's unit inventory.
+type fuPool struct {
+	// nextFree[kind][i] is the first cycle unit i of that kind can start
+	// a new operation.
+	nextFree [numUnitKinds][]uint64
+}
+
+// newFUPool builds the Table 1 configuration: 2 effective-address units,
+// 1 of everything else.
+func newFUPool() *fuPool {
+	p := &fuPool{}
+	counts := map[unitKind]int{
+		unitIntSimple:  1,
+		unitIntComplex: 1,
+		unitEffAddr:    2,
+		unitFPSimple:   1,
+		unitFPMul:      1,
+		unitFPDiv:      1,
+	}
+	for k, n := range counts {
+		p.nextFree[k] = make([]uint64, n)
+	}
+	return p
+}
+
+// tryIssue attempts to start op at cycle now; on success it books the
+// unit (respecting the repeat rate) and returns the completion cycle.
+func (p *fuPool) tryIssue(op trace.Op, now uint64) (done uint64, ok bool) {
+	kind, lat, rep := opTiming(op)
+	for i := range p.nextFree[kind] {
+		if p.nextFree[kind][i] <= now {
+			p.nextFree[kind][i] = now + rep
+			return now + lat, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,95 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestOpTimingTable1(t *testing.T) {
+	cases := []struct {
+		op       trace.Op
+		lat, rep uint64
+	}{
+		{trace.OpIntALU, 1, 1},
+		{trace.OpBranch, 1, 1},
+		{trace.OpIntMul, 9, 1},
+		{trace.OpIntDiv, 67, 67},
+		{trace.OpFPALU, 4, 1},
+		{trace.OpFPMul, 4, 1},
+		{trace.OpFPDiv, 16, 16},
+		{trace.OpFPSqrt, 35, 35},
+		{trace.OpLoad, 1, 1},
+		{trace.OpStore, 1, 1},
+	}
+	for _, c := range cases {
+		_, lat, rep := opTiming(c.op)
+		if lat != c.lat || rep != c.rep {
+			t.Errorf("%v: latency/repeat = %d/%d, want %d/%d", c.op, lat, rep, c.lat, c.rep)
+		}
+	}
+}
+
+func TestFUStructuralHazard(t *testing.T) {
+	p := newFUPool()
+	// Only one simple-int unit: two ALU ops cannot both start at cycle 0.
+	if _, ok := p.tryIssue(trace.OpIntALU, 0); !ok {
+		t.Fatal("first ALU op rejected")
+	}
+	if _, ok := p.tryIssue(trace.OpIntALU, 0); ok {
+		t.Fatal("second ALU op same cycle should stall (1 unit)")
+	}
+	// Next cycle it is free again (repeat rate 1).
+	if _, ok := p.tryIssue(trace.OpIntALU, 1); !ok {
+		t.Fatal("ALU op rejected after repeat interval")
+	}
+}
+
+func TestFUTwoEffectiveAddressUnits(t *testing.T) {
+	p := newFUPool()
+	if _, ok := p.tryIssue(trace.OpLoad, 0); !ok {
+		t.Fatal("first EA rejected")
+	}
+	if _, ok := p.tryIssue(trace.OpStore, 0); !ok {
+		t.Fatal("second EA rejected — paper has 2 EA units")
+	}
+	if _, ok := p.tryIssue(trace.OpLoad, 0); ok {
+		t.Fatal("third EA same cycle should stall")
+	}
+}
+
+func TestFUDivideBlocksUnit(t *testing.T) {
+	p := newFUPool()
+	done, ok := p.tryIssue(trace.OpIntDiv, 0)
+	if !ok || done != 67 {
+		t.Fatalf("div done=%d ok=%v", done, ok)
+	}
+	// The complex unit is busy for the full repeat interval.
+	if _, ok := p.tryIssue(trace.OpIntMul, 30); ok {
+		t.Fatal("complex unit accepted work during divide")
+	}
+	if _, ok := p.tryIssue(trace.OpIntMul, 67); !ok {
+		t.Fatal("complex unit still blocked after divide drained")
+	}
+}
+
+func TestFUPipelinedMultiplier(t *testing.T) {
+	p := newFUPool()
+	// FP multiply: latency 4, repeat 1 — fully pipelined.
+	d0, _ := p.tryIssue(trace.OpFPMul, 0)
+	d1, ok := p.tryIssue(trace.OpFPMul, 1)
+	if !ok {
+		t.Fatal("pipelined multiplier rejected back-to-back issue")
+	}
+	if d0 != 4 || d1 != 5 {
+		t.Errorf("completion times %d, %d; want 4, 5", d0, d1)
+	}
+}
+
+func TestFPDivAndSqrtShareUnit(t *testing.T) {
+	p := newFUPool()
+	p.tryIssue(trace.OpFPDiv, 0)
+	if _, ok := p.tryIssue(trace.OpFPSqrt, 5); ok {
+		t.Fatal("sqrt should contend with divide for the shared unit")
+	}
+}

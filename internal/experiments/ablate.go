@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/gf2"
+	"repro/internal/index"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// AblateResult collects the design-choice ablations listed in DESIGN.md.
+type AblateResult struct {
+	// Polynomial choice: average bad-program miss ratio (%) using an
+	// irreducible vs a reducible modulus ("for best performance P(x)
+	// will be an irreducible polynomial, though it need not be so").
+	IrreducibleMiss, ReducibleMiss float64
+	// Skewing: skewed (per-way P) vs unskewed I-Poly on the bad programs.
+	SkewedMiss, UnskewedMiss float64
+	// VBitsMiss[v] is the bad-program miss ratio when only v block-address
+	// bits feed the hash (v must exceed the 7 index bits).
+	VBits     []int
+	VBitsMiss []float64
+	// Replacement policy under skewed I-Poly on the bad programs.
+	ReplNames []string
+	ReplMiss  []float64
+	// MSHR count vs IPC on swim (lockup-free behaviour).
+	MSHRCounts []int
+	MSHRIPC    []float64
+	// Finite-L2 indexing (extension): bad-program IPC with a 64 KB L2
+	// indexed conventionally vs polynomially.
+	L2Schemes []string
+	L2IPC     []float64
+	// Address predictor size vs IPC on tomcatv with the XOR in the
+	// critical path.
+	APredSizes []int
+	APredIPC   []float64
+}
+
+// badMiss runs the three bad programs' memory traces through a cache
+// built by mk and returns the mean load miss ratio (%).
+func badMiss(o Options, mk func() *cache.Cache) float64 {
+	var ratios []float64
+	for _, name := range workload.BadPrograms() {
+		prof, _ := workload.ByName(name)
+		c := mk()
+		s := &trace.MemOnly{S: workload.Stream(prof, o.Seed)}
+		for i := uint64(0); i < o.Instructions; i++ {
+			r, ok := s.Next()
+			if !ok {
+				break
+			}
+			c.Access(r.Addr, r.Op == trace.OpStore)
+		}
+		ratios = append(ratios, 100*c.Stats().ReadMissRatio())
+	}
+	return stats.Mean(ratios)
+}
+
+func cache8K(p index.Placement, repl cache.ReplPolicy) *cache.Cache {
+	return cache.New(cache.Config{
+		Size: 8 << 10, BlockSize: 32, Ways: 2,
+		Placement: p, Replacement: repl, WriteAllocate: false,
+	})
+}
+
+// reduciblePolys returns degree-7 NON-irreducible polynomials with a
+// nonzero constant term (so the map still uses all inputs).
+func reduciblePolys(n int) []gf2.Poly {
+	var out []gf2.Poly
+	for f := gf2.Poly(1 << 7); f < 1<<8 && len(out) < n; f++ {
+		if f.Coeff(0) == 1 && !gf2.Irreducible(f) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// RunAblate runs every ablation.
+func RunAblate(o Options) AblateResult {
+	o = o.normalize()
+	var res AblateResult
+
+	// Irreducible vs reducible modulus.
+	res.IrreducibleMiss = badMiss(o, func() *cache.Cache {
+		return cache8K(index.NewIPolyDefault(2, setBits8K, hashInBits), cache.LRU)
+	})
+	res.ReducibleMiss = badMiss(o, func() *cache.Cache {
+		return cache8K(index.NewIPoly(reduciblePolys(2), setBits8K, hashInBits), cache.LRU)
+	})
+
+	// Skewed vs unskewed.
+	res.SkewedMiss = res.IrreducibleMiss
+	res.UnskewedMiss = badMiss(o, func() *cache.Cache {
+		return cache8K(index.NewIPolyDefault(1, setBits8K, hashInBits), cache.LRU)
+	})
+
+	// Number of hashed address bits.
+	for _, v := range []int{8, 9, 10, 12, 14} {
+		v := v
+		res.VBits = append(res.VBits, v+blockBits) // report as address bits
+		res.VBitsMiss = append(res.VBitsMiss, badMiss(o, func() *cache.Cache {
+			return cache8K(index.NewIPolyDefault(2, setBits8K, v), cache.LRU)
+		}))
+	}
+
+	// Replacement policies under skewing.
+	for _, rp := range []cache.ReplPolicy{cache.LRU, cache.FIFO, cache.Random} {
+		rp := rp
+		res.ReplNames = append(res.ReplNames, rp.String())
+		res.ReplMiss = append(res.ReplMiss, badMiss(o, func() *cache.Cache {
+			return cache8K(index.NewIPolyDefault(2, setBits8K, hashInBits), rp)
+		}))
+	}
+
+	// MSHR sweep on swim (conventional indexing: many misses to overlap).
+	swim, _ := workload.ByName("swim")
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		cfg := cpu.DefaultConfig(cpu.PaperCache(8<<10, nil))
+		cfg.MSHRs = n
+		r := cpu.New(cfg).Run(&trace.Limit{S: workload.Stream(swim, o.Seed), N: int(o.Instructions)}, o.Instructions)
+		res.MSHRCounts = append(res.MSHRCounts, n)
+		res.MSHRIPC = append(res.MSHRIPC, r.IPC())
+	}
+
+	// Finite-L2 indexing (extension): with a small 64 KB L2 behind a
+	// conventional L1, does polynomial indexing at L2 help?  (The paper's
+	// §3.2 hierarchy uses a conventional L2; this quantifies the choice.)
+	for _, l2scheme := range []index.Scheme{index.SchemeModulo, index.SchemeIPolySk} {
+		l2place := index.MustNew(l2scheme, 10, 2, 16) // 64KB/32B/2-way => 1024 sets
+		l2cfg := cache.Config{
+			Size: 64 << 10, BlockSize: 32, Ways: 2,
+			Placement: l2place, WriteBack: true, WriteAllocate: true,
+		}
+		cfg := cpu.DefaultConfig(cpu.PaperCache(8<<10, nil))
+		cfg.L2 = &l2cfg
+		cfg.L2MissPenalty = 60
+		var ipcs []float64
+		for _, name := range workload.BadPrograms() {
+			prof, _ := workload.ByName(name)
+			r := cpu.New(cfg).Run(&trace.Limit{S: workload.Stream(prof, o.Seed), N: int(o.Instructions)}, o.Instructions)
+			ipcs = append(ipcs, r.IPC())
+		}
+		res.L2Schemes = append(res.L2Schemes, string(l2scheme))
+		res.L2IPC = append(res.L2IPC, stats.GeoMean(ipcs))
+	}
+
+	// Address predictor size on tomcatv with the XOR penalty.
+	tom, _ := workload.ByName("tomcatv")
+	ipoly := index.MustNew(index.SchemeIPolySk, setBits8K, 2, hashInBits)
+	for _, n := range []int{64, 256, 1024, 4096} {
+		cfg := cpu.DefaultConfig(cpu.PaperCache(8<<10, ipoly))
+		cfg.XorInCP = true
+		cfg.AddrPred = true
+		cfg.APredEntries = n
+		r := cpu.New(cfg).Run(&trace.Limit{S: workload.Stream(tom, o.Seed), N: int(o.Instructions)}, o.Instructions)
+		res.APredSizes = append(res.APredSizes, n)
+		res.APredIPC = append(res.APredIPC, r.IPC())
+	}
+	return res
+}
+
+// Render prints every ablation block.
+func (res AblateResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Design-choice ablations (bad-program mean load miss %, unless noted)\n\n")
+	t := stats.NewTable("ablation", "variant", "value")
+	t.AddRow("modulus polynomial", "irreducible", fmt.Sprintf("%.2f", res.IrreducibleMiss))
+	t.AddRow("modulus polynomial", "reducible", fmt.Sprintf("%.2f", res.ReducibleMiss))
+	t.AddRow("skewing", "per-way P (skewed)", fmt.Sprintf("%.2f", res.SkewedMiss))
+	t.AddRow("skewing", "shared P (unskewed)", fmt.Sprintf("%.2f", res.UnskewedMiss))
+	for i, v := range res.VBits {
+		t.AddRow("hashed address bits", fmt.Sprintf("%d bits", v), fmt.Sprintf("%.2f", res.VBitsMiss[i]))
+	}
+	for i, n := range res.ReplNames {
+		t.AddRow("replacement", n, fmt.Sprintf("%.2f", res.ReplMiss[i]))
+	}
+	for i, n := range res.MSHRCounts {
+		t.AddRow("MSHR count (swim IPC)", fmt.Sprintf("%d", n), fmt.Sprintf("%.3f", res.MSHRIPC[i]))
+	}
+	for i, n := range res.L2Schemes {
+		t.AddRow("finite 64KB L2 index (bad IPC)", n, fmt.Sprintf("%.3f", res.L2IPC[i]))
+	}
+	for i, n := range res.APredSizes {
+		t.AddRow("addr-pred entries (tomcatv IPC)", fmt.Sprintf("%d", n), fmt.Sprintf("%.3f", res.APredIPC[i]))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/index"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Fig1Result reproduces Figure 1: the frequency distribution of miss
+// ratios over all strides for the four indexing schemes.
+type Fig1Result struct {
+	// Histograms maps scheme -> 10-bin miss-ratio histogram (bins 0.1
+	// ... 1.0, log-frequency presentation).
+	Histograms map[index.Scheme]*stats.Histogram
+	// Pathological counts strides with miss ratio > 50 % per scheme (the
+	// paper reports > 6 % of strides pathological for a2 and a2-Hx-Sk,
+	// none for a2-Hp-Sk).
+	Pathological map[index.Scheme]int
+	// Strides is the number of strides swept.
+	Strides int
+}
+
+// RunFig1 sweeps element strides 1..MaxStride-1 of the 64×8-byte vector
+// walk through 8 KB 2-way caches differing only in placement function.
+func RunFig1(o Options) Fig1Result {
+	o = o.normalize()
+	res := Fig1Result{
+		Histograms:   make(map[index.Scheme]*stats.Histogram),
+		Pathological: make(map[index.Scheme]int),
+		Strides:      o.MaxStride - 1,
+	}
+	const elems = 64
+	// The largest strides put the kernel's footprint at ~2 MB, so the
+	// polynomial hash must see every block-address bit the walk touches
+	// (17 bits here); truncating at the paper's 19 *address* bits would
+	// introduce aliasing artifacts that have nothing to do with the
+	// placement function.  XOR folding inherently consumes 2m = 14 bits.
+	fig1Placements := map[index.Scheme]index.Placement{
+		index.SchemeModulo:  index.MustNew(index.SchemeModulo, setBits8K, 2, 17),
+		index.SchemeXORSk:   index.MustNew(index.SchemeXORSk, setBits8K, 2, 17),
+		index.SchemeIPoly:   index.MustNew(index.SchemeIPoly, setBits8K, 2, 17),
+		index.SchemeIPolySk: index.MustNew(index.SchemeIPolySk, setBits8K, 2, 17),
+	}
+	for scheme, place := range fig1Placements {
+		h := stats.NewHistogram(10)
+		for s := 1; s < o.MaxStride; s++ {
+			c := cache.New(cache.Config{
+				Size: 8 << 10, BlockSize: 32, Ways: 2,
+				Placement: place, WriteAllocate: false,
+			})
+			ss := workload.NewStrideStream(0, uint64(s)*8, elems, o.Fig1Rounds)
+			// Warm-up round excluded from the measured ratio.
+			for i := 0; i < elems; i++ {
+				r, _ := ss.Next()
+				c.Access(r.Addr, false)
+			}
+			c.ResetStats()
+			for {
+				r, ok := ss.Next()
+				if !ok {
+					break
+				}
+				c.Access(r.Addr, false)
+			}
+			mr := c.Stats().MissRatio()
+			h.Add(mr)
+			if mr > 0.5 {
+				res.Pathological[scheme]++
+			}
+		}
+		res.Histograms[scheme] = h
+	}
+	return res
+}
+
+// PathologicalFraction returns the fraction of strides with miss ratio
+// above 50 % for the scheme.
+func (r Fig1Result) PathologicalFraction(s index.Scheme) float64 {
+	if r.Strides == 0 {
+		return 0
+	}
+	return float64(r.Pathological[s]) / float64(r.Strides)
+}
+
+// Render prints the four histograms and the pathological-stride summary.
+func (r Fig1Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 1: frequency distribution of miss ratios across strides\n")
+	b.WriteString("(8KB, 2-way, 32B lines; 64-element vector, element strides swept)\n\n")
+	schemes := make([]index.Scheme, 0, len(r.Histograms))
+	for s := range r.Histograms {
+		schemes = append(schemes, s)
+	}
+	sort.Slice(schemes, func(i, j int) bool { return schemes[i] < schemes[j] })
+	for _, s := range schemes {
+		b.WriteString(r.Histograms[s].Render(string(s)))
+		b.WriteByte('\n')
+	}
+	b.WriteString("Pathological strides (miss ratio > 50%):\n")
+	for _, s := range schemes {
+		fmt.Fprintf(&b, "  %-10s %5d / %d  (%.2f%%)\n",
+			s, r.Pathological[s], r.Strides, 100*r.PathologicalFraction(s))
+	}
+	return b.String()
+}

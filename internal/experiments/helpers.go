@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"repro/internal/cache"
+	"repro/internal/gf2"
+	"repro/internal/hierarchy"
+	"repro/internal/index"
+)
+
+// Shared constructors for experiment drivers, all at the paper's 8 KB /
+// 32-byte-line geometry.
+
+// newAdaptiveForExperiment builds the §3.1 option-2 adaptive cache with
+// the paper's 256 KB page-size threshold.
+func newAdaptiveForExperiment() *hierarchy.AdaptiveCache {
+	return hierarchy.NewAdaptiveCache(8<<10, 32, 2,
+		index.MustNew(index.SchemeIPolySk, setBits8K, 2, hashInBits), 256<<10)
+}
+
+// newColAssocForExperiment builds the §3.1 option-4 column-associative
+// cache with a degree-8 irreducible rehash polynomial over 19 address
+// bits.
+func newColAssocForExperiment() *cache.ColumnAssociative {
+	return cache.NewColumnAssociative(8<<10, 32, gf2.Irreducibles(8, 1)[0], 19)
+}
+
+// newDMForExperiment builds a plain direct-mapped baseline.
+func newDMForExperiment() *cache.Cache {
+	return cache.New(cache.Config{Size: 8 << 10, BlockSize: 32, Ways: 1, WriteAllocate: false})
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/hierarchy"
+	"repro/internal/index"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// HolesRow compares the analytical hole probability (eq. ix) with the
+// simulated hole rate for one L2 size.
+type HolesRow struct {
+	L2KB     int
+	Ratio    int // L2:L1 size ratio
+	ModelPH  float64
+	Measured float64
+	L2Misses uint64
+	Holes    uint64
+}
+
+// HolesResult reproduces the §3.3 validation: the model is accurate for
+// size ratios >= 16, and on the benchmark suite the hole rate is tiny.
+type HolesResult struct {
+	Sweep []HolesRow
+	// Suite results: hole rate per benchmark with the paper's 8 KB skewed
+	// I-Poly L1 over a 1 MB conventional 2-way L2 (paper: average < 0.1 %,
+	// never > 1.2 %).
+	SuiteNames []string
+	SuiteRates []float64
+	// SuiteHoleMissShare is holes' contribution to the L1 miss ratio
+	// (paper: negligible).
+	SuiteHoleMissShare []float64
+}
+
+// RunHoles runs both parts of the §3.3 study.
+func RunHoles(o Options) HolesResult {
+	o = o.normalize()
+	var res HolesResult
+
+	// Part 1: direct-mapped L1/L2 with pseudo-random indices at both
+	// levels, random traffic — the setting of the analytical model.
+	const l1KB = 8
+	for _, l2KB := range []int{32, 64, 128, 256, 512, 1024} {
+		m1 := 8 // 8 KB direct-mapped, 32 B lines => 256 sets
+		m2 := 0
+		for v := l2KB << 10 / 32; v > 1; v >>= 1 {
+			m2++
+		}
+		cfg := hierarchy.Config{
+			L1: cache.Config{
+				Size: l1KB << 10, BlockSize: 32, Ways: 1,
+				Placement:     index.NewIPolyDefault(1, m1, hashInBits),
+				WriteAllocate: true,
+			},
+			L2: cache.Config{
+				Size: l2KB << 10, BlockSize: 32, Ways: 1,
+				Placement: index.NewIPolyDefault(1, m2, m2+8),
+				WriteBack: true, WriteAllocate: true,
+			},
+			ScrambleSeed: o.Seed,
+		}
+		h := hierarchy.New(cfg)
+		r := rng.New(o.Seed)
+		n := int(o.Instructions) * 2
+		for i := 0; i < n; i++ {
+			h.Access(uint64(r.Intn(16<<20)), false)
+		}
+		s := h.Stats()
+		res.Sweep = append(res.Sweep, HolesRow{
+			L2KB:     l2KB,
+			Ratio:    l2KB / l1KB,
+			ModelPH:  hierarchy.ModelPH(m1, m2),
+			Measured: s.HoleRate(),
+			L2Misses: s.L2Misses,
+			Holes:    s.Holes,
+		})
+	}
+
+	// Part 2: the benchmark suite on the paper's hierarchy (8 KB 2-way
+	// skewed I-Poly L1, 1 MB 2-way conventional L2).
+	for _, prof := range workload.Suite() {
+		cfg := hierarchy.Config{
+			L1: cache.Config{
+				Size: 8 << 10, BlockSize: 32, Ways: 2,
+				Placement:     index.MustNew(index.SchemeIPolySk, setBits8K, 2, hashInBits),
+				WriteAllocate: false,
+			},
+			L2: cache.Config{
+				Size: 1 << 20, BlockSize: 32, Ways: 2,
+				WriteBack: true, WriteAllocate: true,
+			},
+			ScrambleSeed: o.Seed,
+		}
+		h := hierarchy.New(cfg)
+		s := &trace.MemOnly{S: workload.Stream(prof, o.Seed)}
+		for i := uint64(0); i < o.Instructions; i++ {
+			r, ok := s.Next()
+			if !ok {
+				break
+			}
+			h.Access(r.Addr, r.Op == trace.OpStore)
+		}
+		st := h.Stats()
+		res.SuiteNames = append(res.SuiteNames, prof.Name)
+		res.SuiteRates = append(res.SuiteRates, st.HoleRate())
+		share := 0.0
+		if st.L1Misses > 0 {
+			share = float64(st.HoleMisses) / float64(st.L1Misses)
+		}
+		res.SuiteHoleMissShare = append(res.SuiteHoleMissShare, share)
+	}
+	return res
+}
+
+// Render prints both parts.
+func (res HolesResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Hole probability (§3.3): model P_H = (2^m1 - 1)/2^m2 vs simulation\n")
+	b.WriteString("(direct-mapped pseudo-random L1 8KB / L2 swept, random traffic)\n\n")
+	t := stats.NewTable("L2", "ratio", "model P_H", "measured", "L2 misses", "holes")
+	for _, r := range res.Sweep {
+		t.AddRow(fmt.Sprintf("%dKB", r.L2KB), fmt.Sprintf("%dx", r.Ratio),
+			fmt.Sprintf("%.4f", r.ModelPH), fmt.Sprintf("%.4f", r.Measured),
+			fmt.Sprintf("%d", r.L2Misses), fmt.Sprintf("%d", r.Holes))
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nBenchmark suite, 8KB 2-way skewed I-Poly L1 / 1MB 2-way conventional L2:\n\n")
+	t2 := stats.NewTable("bench", "holes per L2 miss", "hole share of L1 misses")
+	var rates []float64
+	for i, n := range res.SuiteNames {
+		t2.AddRow(n, fmt.Sprintf("%.4f%%", 100*res.SuiteRates[i]),
+			fmt.Sprintf("%.4f%%", 100*res.SuiteHoleMissShare[i]))
+		rates = append(rates, res.SuiteRates[i])
+	}
+	b.WriteString(t2.String())
+	fmt.Fprintf(&b, "\nSuite average hole rate: %.4f%% (paper: avg < 0.1%%, max 1.2%%); max: %.4f%%\n",
+		100*stats.Mean(rates), 100*stats.Max(rates))
+	return b.String()
+}

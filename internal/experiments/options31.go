@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cpu"
+	"repro/internal/index"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Options31Result compares the four §3.1 routes to I-Poly indexing under
+// minimum-page-size constraints:
+//
+//  1. translate before lookup (physically indexed: +1 cycle every load);
+//  2. page-size-adaptive indexing (poly only when pages are large);
+//  3. virtual-real two-level hierarchy (virtually indexed L1: no penalty
+//     — the paper's recommended design, identical in timing to the plain
+//     I-Poly configuration);
+//  4. column-associative polynomial rehash (direct-mapped; covered in
+//     detail by the colassoc experiment, included here as miss ratio).
+type Options31Result struct {
+	// IPC (geomean over the bad programs) for options 1 and 3 plus the
+	// conventional baseline.
+	ConvIPC, Option1IPC, Option3IPC float64
+	// Option 2, modelled at the miss-ratio level: large-page processes
+	// enjoy the poly function, small-page processes fall back.
+	Option2LargePagesMiss, Option2SmallPagesMiss float64
+	// Option 4 bad-program miss ratio (vs direct-mapped conventional).
+	Option4Miss, DirectMappedMiss float64
+}
+
+// RunOptions31 evaluates the options on the high-conflict programs.
+func RunOptions31(o Options) Options31Result {
+	o = o.normalize()
+	var res Options31Result
+
+	ipoly := index.MustNew(index.SchemeIPolySk, setBits8K, 2, hashInBits)
+	runIPC := func(cfg cpu.Config) float64 {
+		var ipcs []float64
+		for _, name := range workload.BadPrograms() {
+			prof, _ := workload.ByName(name)
+			r := cpu.New(cfg).Run(&trace.Limit{S: workload.Stream(prof, o.Seed), N: int(o.Instructions)}, o.Instructions)
+			ipcs = append(ipcs, r.IPC())
+		}
+		return stats.GeoMean(ipcs)
+	}
+
+	res.ConvIPC = runIPC(cpu.DefaultConfig(cpu.PaperCache(8<<10, nil)))
+
+	opt1 := cpu.DefaultConfig(cpu.PaperCache(8<<10, ipoly))
+	opt1.ExtraLoadCycles = 1 // translation precedes lookup on every load
+	res.Option1IPC = runIPC(opt1)
+
+	res.Option3IPC = runIPC(cpu.DefaultConfig(cpu.PaperCache(8<<10, ipoly)))
+
+	// Option 2 at the miss-ratio level via the adaptive cache.
+	runAdaptive := func(largePages bool) float64 {
+		var ratios []float64
+		for _, name := range workload.BadPrograms() {
+			prof, _ := workload.ByName(name)
+			a := newAdaptiveForExperiment()
+			if largePages {
+				a.SetSegment("data", 256<<10)
+			} else {
+				a.SetSegment("data", 4<<10)
+			}
+			s := &trace.MemOnly{S: workload.Stream(prof, o.Seed)}
+			for i := uint64(0); i < o.Instructions; i++ {
+				r, ok := s.Next()
+				if !ok {
+					break
+				}
+				a.Access(r.Addr, r.Op == trace.OpStore)
+			}
+			st := a.Stats()
+			ratios = append(ratios, 100*stats.Ratio(st.ReadMisses, st.ReadHits+st.ReadMisses))
+		}
+		return stats.Mean(ratios)
+	}
+	res.Option2LargePagesMiss = runAdaptive(true)
+	res.Option2SmallPagesMiss = runAdaptive(false)
+
+	// Option 4 vs plain direct-mapped, bad programs.
+	var col, dm []float64
+	for _, name := range workload.BadPrograms() {
+		prof, _ := workload.ByName(name)
+		ca := newColAssocForExperiment()
+		plain := newDMForExperiment()
+		s := &trace.MemOnly{S: workload.Stream(prof, o.Seed)}
+		for i := uint64(0); i < o.Instructions; i++ {
+			r, ok := s.Next()
+			if !ok {
+				break
+			}
+			w := r.Op == trace.OpStore
+			ca.Access(r.Addr, w)
+			plain.Access(r.Addr, w)
+		}
+		col = append(col, 100*ca.Stats().ReadMissRatio())
+		dm = append(dm, 100*plain.Stats().ReadMissRatio())
+	}
+	res.Option4Miss = stats.Mean(col)
+	res.DirectMappedMiss = stats.Mean(dm)
+	return res
+}
+
+// Render prints the comparison.
+func (res Options31Result) Render() string {
+	var b strings.Builder
+	b.WriteString("§3.1 implementation options under page-size restrictions (bad programs)\n\n")
+	t := stats.NewTable("option", "metric", "value")
+	t.AddRow("baseline conventional", "IPC (geomean)", fmt.Sprintf("%.3f", res.ConvIPC))
+	t.AddRow("1: physical index (+1 cycle loads)", "IPC (geomean)", fmt.Sprintf("%.3f", res.Option1IPC))
+	t.AddRow("3: virtual-real hierarchy", "IPC (geomean)", fmt.Sprintf("%.3f", res.Option3IPC))
+	t.AddRow("2: adaptive, large pages", "load miss %", fmt.Sprintf("%.2f", res.Option2LargePagesMiss))
+	t.AddRow("2: adaptive, small pages", "load miss %", fmt.Sprintf("%.2f", res.Option2SmallPagesMiss))
+	t.AddRow("4: column-assoc rehash", "load miss %", fmt.Sprintf("%.2f", res.Option4Miss))
+	t.AddRow("   (plain direct-mapped)", "load miss %", fmt.Sprintf("%.2f", res.DirectMappedMiss))
+	b.WriteString(t.String())
+	b.WriteString("\nOption 3 (the paper's recommendation) keeps the full I-Poly win with no\n")
+	b.WriteString("translation penalty; option 1 pays a cycle on every load; option 2 only\n")
+	b.WriteString("helps processes with large pages; option 4 recovers direct-mapped\n")
+	b.WriteString("conflicts at the cost of occasional second probes.\n")
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/index"
+)
+
+func TestSweepShape(t *testing.T) {
+	res := RunSweep(small())
+	if len(res.Miss) != len(res.SizesKB) {
+		t.Fatal("grid incomplete")
+	}
+	// Monotonicity: for a fixed ways/scheme, bigger caches never have a
+	// (much) higher miss ratio.
+	for wi := range res.Ways {
+		for ki := range res.Schemes {
+			for si := 1; si < len(res.SizesKB); si++ {
+				prev := res.Miss[si-1][wi][ki]
+				cur := res.Miss[si][wi][ki]
+				if cur > prev+1.0 {
+					t.Errorf("size %dKB->%dKB ways %d scheme %s: miss rose %.2f -> %.2f",
+						res.SizesKB[si-1], res.SizesKB[si], res.Ways[wi], res.Schemes[ki], prev, cur)
+				}
+			}
+		}
+	}
+	// I-Poly never loses badly to conventional at the same point, and
+	// wins clearly at 8KB 2-way (the paper's configuration).
+	for si := range res.SizesKB {
+		for wi := range res.Ways {
+			conv := res.Miss[si][wi][0]
+			ip := res.Miss[si][wi][1]
+			if ip > conv+2.0 {
+				t.Errorf("%dKB %d-way: I-Poly %.2f much worse than conventional %.2f",
+					res.SizesKB[si], res.Ways[wi], ip, conv)
+			}
+		}
+	}
+	conv8, _ := res.At(8, 2, index.SchemeModulo)
+	ip8, _ := res.At(8, 2, index.SchemeIPolySk)
+	if ip8 >= conv8 {
+		t.Errorf("8KB 2-way: I-Poly %.2f did not beat conventional %.2f", ip8, conv8)
+	}
+	if _, ok := res.At(3, 2, index.SchemeModulo); ok {
+		t.Error("At should reject unknown points")
+	}
+	if !strings.Contains(res.Render(), "Design-space sweep") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestInterleaveLineage(t *testing.T) {
+	o := small()
+	o.MaxStride = 256
+	res := RunInterleave(o)
+	get := func(name string) int {
+		for i, s := range res.Schemes {
+			if s == name {
+				return i
+			}
+		}
+		t.Fatalf("scheme %q missing", name)
+		return -1
+	}
+	mod := get("modulo-16")
+	ip := get("ipoly-16")
+	pr := get("prime-17")
+	// Conventional interleaving degrades on many power-of-two strides;
+	// the polynomial selector on (almost) none.
+	if res.Degraded[mod] == 0 {
+		t.Error("modulo interleave should degrade on power-of-two strides")
+	}
+	if res.Degraded[ip] > res.Degraded[mod]/4 {
+		t.Errorf("ipoly degraded on %d strides vs modulo %d", res.Degraded[ip], res.Degraded[mod])
+	}
+	if res.MeanBW[ip] <= res.MeanBW[mod] {
+		t.Errorf("ipoly mean BW %.3f not above modulo %.3f", res.MeanBW[ip], res.MeanBW[mod])
+	}
+	// Prime-17 should also be robust within this sweep (its pathology is
+	// stride multiples of 17, a small fraction).
+	if res.Degraded[pr] > res.Strides/10 {
+		t.Errorf("prime degraded on %d strides", res.Degraded[pr])
+	}
+	if !strings.Contains(res.Render(), "Cydra") {
+		t.Error("render incomplete")
+	}
+}

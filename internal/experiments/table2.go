@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+
+	"repro/internal/cpu"
+	"repro/internal/index"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Table2Row is one benchmark's row of the paper's Table 2: IPC and load
+// miss ratio across six processor/cache configurations.
+type Table2Row struct {
+	Name string
+	FP   bool
+	Bad  bool
+
+	// Conventional indexing.
+	C16IPC, C16Miss  float64 // 16 KB, no prediction
+	C8IPC, C8PredIPC float64 // 8 KB without / with address prediction
+	C8Miss           float64
+	// I-Poly indexing (skewed), 8 KB.
+	IPolyIPC, IPolyMiss  float64 // XOR gates not on the critical path
+	InCPIPC, InCPPredIPC float64 // XOR on critical path, without/with pred
+}
+
+// Table2Result holds all rows plus the paper's three average rows.
+type Table2Result struct {
+	Rows []Table2Row
+	// IntAvg, FPAvg, Combined mirror the paper's average rows (geometric
+	// mean for IPC, arithmetic for miss ratios).
+	IntAvg, FPAvg, Combined Table2Row
+}
+
+// table2Configs builds the six configurations of Table 2.
+func table2Configs() map[string]cpu.Config {
+	ipoly := index.MustNew(index.SchemeIPolySk, setBits8K, 2, hashInBits)
+	conv16 := index.NewModulo(setBits16K)
+	cfgs := map[string]cpu.Config{
+		"c16":       cpu.DefaultConfig(cpu.PaperCache(16<<10, conv16)),
+		"c8":        cpu.DefaultConfig(cpu.PaperCache(8<<10, nil)),
+		"c8pred":    cpu.DefaultConfig(cpu.PaperCache(8<<10, nil)),
+		"ipoly":     cpu.DefaultConfig(cpu.PaperCache(8<<10, ipoly)),
+		"incp":      cpu.DefaultConfig(cpu.PaperCache(8<<10, ipoly)),
+		"incp+pred": cpu.DefaultConfig(cpu.PaperCache(8<<10, ipoly)),
+	}
+	c := cfgs["c8pred"]
+	c.AddrPred = true
+	cfgs["c8pred"] = c
+	c = cfgs["incp"]
+	c.XorInCP = true
+	cfgs["incp"] = c
+	c = cfgs["incp+pred"]
+	c.XorInCP = true
+	c.AddrPred = true
+	cfgs["incp+pred"] = c
+	return cfgs
+}
+
+// RunTable2 simulates every benchmark under every configuration.
+// Benchmarks run in parallel (each simulation owns its state; the shared
+// placement functions are immutable after construction), and the rows
+// come back in suite order so the output is deterministic.
+func RunTable2(o Options) Table2Result {
+	o = o.normalize()
+	cfgs := table2Configs()
+	suite := workload.Suite()
+	rows := make([]Table2Row, len(suite))
+	var wg sync.WaitGroup
+	for i, prof := range suite {
+		wg.Add(1)
+		go func(i int, prof workload.Profile) {
+			defer wg.Done()
+			row := Table2Row{Name: prof.Name, FP: prof.FP, Bad: prof.Bad}
+			run := func(key string) cpu.Result {
+				core := cpu.New(cfgs[key])
+				s := &trace.Limit{S: workload.Stream(prof, o.Seed), N: int(o.Instructions)}
+				return core.Run(s, o.Instructions)
+			}
+			r := run("c16")
+			row.C16IPC, row.C16Miss = r.IPC(), 100*r.MissRatio()
+			r = run("c8")
+			row.C8IPC, row.C8Miss = r.IPC(), 100*r.MissRatio()
+			row.C8PredIPC = run("c8pred").IPC()
+			r = run("ipoly")
+			row.IPolyIPC, row.IPolyMiss = r.IPC(), 100*r.MissRatio()
+			row.InCPIPC = run("incp").IPC()
+			row.InCPPredIPC = run("incp+pred").IPC()
+			rows[i] = row
+		}(i, prof)
+	}
+	wg.Wait()
+	var res Table2Result
+	res.Rows = rows
+	res.IntAvg = average("Int average", res.Rows, func(r Table2Row) bool { return !r.FP })
+	res.FPAvg = average("Fp average", res.Rows, func(r Table2Row) bool { return r.FP })
+	res.Combined = average("Combined", res.Rows, func(Table2Row) bool { return true })
+	return res
+}
+
+// average computes the paper-style average row over rows passing keep:
+// geometric means for IPC columns, arithmetic means for miss columns.
+func average(name string, rows []Table2Row, keep func(Table2Row) bool) Table2Row {
+	var ipcCols [6][]float64
+	var missCols [3][]float64
+	for _, r := range rows {
+		if !keep(r) {
+			continue
+		}
+		for i, v := range []float64{r.C16IPC, r.C8IPC, r.C8PredIPC, r.IPolyIPC, r.InCPIPC, r.InCPPredIPC} {
+			ipcCols[i] = append(ipcCols[i], v)
+		}
+		for i, v := range []float64{r.C16Miss, r.C8Miss, r.IPolyMiss} {
+			missCols[i] = append(missCols[i], v)
+		}
+	}
+	return Table2Row{
+		Name:        name,
+		C16IPC:      stats.GeoMean(ipcCols[0]),
+		C8IPC:       stats.GeoMean(ipcCols[1]),
+		C8PredIPC:   stats.GeoMean(ipcCols[2]),
+		IPolyIPC:    stats.GeoMean(ipcCols[3]),
+		InCPIPC:     stats.GeoMean(ipcCols[4]),
+		InCPPredIPC: stats.GeoMean(ipcCols[5]),
+		C16Miss:     stats.Mean(missCols[0]),
+		C8Miss:      stats.Mean(missCols[1]),
+		IPolyMiss:   stats.Mean(missCols[2]),
+	}
+}
+
+// header returns the Table 2 column headers.
+func table2Header() []string {
+	return []string{
+		"bench",
+		"16K IPC", "16K miss",
+		"8K IPC", "8K+pred IPC", "8K miss",
+		"Hp IPC", "Hp miss",
+		"Hp-CP IPC", "Hp-CP+pred IPC",
+	}
+}
+
+func addRow(t *stats.Table, r Table2Row) {
+	t.AddRowValues(r.Name,
+		r.C16IPC, r.C16Miss,
+		r.C8IPC, r.C8PredIPC, r.C8Miss,
+		r.IPolyIPC, r.IPolyMiss,
+		r.InCPIPC, r.InCPPredIPC)
+}
+
+// Render prints the full Table 2 with average rows.
+func (res Table2Result) Render() string {
+	t := stats.NewTable(table2Header()...)
+	for _, r := range res.Rows {
+		addRow(t, r)
+	}
+	addRow(t, res.IntAvg)
+	addRow(t, res.FPAvg)
+	addRow(t, res.Combined)
+	var b strings.Builder
+	b.WriteString("Table 2: IPC and load miss ratio (miss in %).\n")
+	b.WriteString("Conventional (16K / 8K) vs skewed I-Poly (Hp; CP = XOR on critical path).\n\n")
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// Table3Result is the paper's Table 3: the three high-conflict programs
+// plus bad/good average rows.
+type Table3Result struct {
+	Rows    []Table2Row // tomcatv, swim, wave5
+	BadAvg  Table2Row
+	GoodAvg Table2Row
+}
+
+// RunTable3 derives Table 3 from a Table 2 run (the paper's Table 3 is a
+// re-presentation of the same simulations).
+func RunTable3(o Options) Table3Result {
+	return DeriveTable3(RunTable2(o))
+}
+
+// DeriveTable3 splits an existing Table 2 result into the Table 3 view.
+func DeriveTable3(t2 Table2Result) Table3Result {
+	var res Table3Result
+	for _, r := range t2.Rows {
+		if r.Bad {
+			res.Rows = append(res.Rows, r)
+		}
+	}
+	res.BadAvg = average("Average-bad", t2.Rows, func(r Table2Row) bool { return r.Bad })
+	res.GoodAvg = average("Average-good", t2.Rows, func(r Table2Row) bool { return !r.Bad })
+	return res
+}
+
+// Render prints Table 3.
+func (res Table3Result) Render() string {
+	t := stats.NewTable(table2Header()...)
+	for _, r := range res.Rows {
+		addRow(t, r)
+	}
+	addRow(t, res.BadAvg)
+	addRow(t, res.GoodAvg)
+	var b strings.Builder
+	b.WriteString("Table 3: the high-conflict programs and bad/good averages.\n\n")
+	b.WriteString(t.String())
+	return b.String()
+}

@@ -1,0 +1,161 @@
+package gf2
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The polynomial modulus A(x) mod P(x) is linear over GF(2) in the bits of
+// A: residue bit i is the XOR of the address bits j for which x^j mod P(x)
+// has coefficient i set.  A BitMatrix precomputes those masks so the index
+// of an address is a handful of parity operations — exactly the per-bit
+// XOR trees a hardware implementation would synthesise (§3 of the paper).
+
+// BitMatrix maps a v-bit input to an m-bit output over GF(2).  Row i holds
+// the mask of input bits whose XOR yields output bit i.
+type BitMatrix struct {
+	rows []uint64 // rows[i]: mask over input bits for output bit i
+	in   int      // number of input bits consumed (v)
+}
+
+// NewModMatrix builds the BitMatrix computing A(x) mod P(x) from the low
+// in bits of A, for a modulus P of degree m (so the output has m bits).
+// It panics if P has degree < 1 or in is outside [1, 64].
+func NewModMatrix(p Poly, in int) *BitMatrix {
+	m := p.Degree()
+	if m < 1 {
+		panic("gf2: modulus must have degree >= 1")
+	}
+	if in < 1 || in > 64 {
+		panic("gf2: input width out of range")
+	}
+	bm := &BitMatrix{rows: make([]uint64, m), in: in}
+	// Column j of the matrix is x^j mod P.
+	col := One // x^0 mod P
+	for j := 0; j < in; j++ {
+		for i := 0; i < m; i++ {
+			if col.Coeff(i) == 1 {
+				bm.rows[i] |= 1 << uint(j)
+			}
+		}
+		col = col.MulMod(X, p)
+	}
+	return bm
+}
+
+// InputBits returns the number of address bits the matrix consumes.
+func (bm *BitMatrix) InputBits() int { return bm.in }
+
+// OutputBits returns the number of index bits the matrix produces.
+func (bm *BitMatrix) OutputBits() int { return len(bm.rows) }
+
+// Apply computes the m-bit output for the low in bits of a.
+func (bm *BitMatrix) Apply(a uint64) uint64 {
+	if bm.in < 64 {
+		a &= 1<<uint(bm.in) - 1
+	}
+	var out uint64
+	for i, mask := range bm.rows {
+		out |= uint64(parity(a&mask)) << uint(i)
+	}
+	return out
+}
+
+// parity returns the XOR of the bits of x.
+func parity(x uint64) int {
+	x ^= x >> 32
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return int(x & 1)
+}
+
+// Row returns the input mask feeding output bit i.
+func (bm *BitMatrix) Row(i int) uint64 { return bm.rows[i] }
+
+// MaxFanIn returns the largest number of input bits XORed into any single
+// output bit — the fan-in of the widest XOR gate a hardware realisation
+// needs.  The paper reports fan-in <= 5 for its configurations (§3.4).
+func (bm *BitMatrix) MaxFanIn() int {
+	max := 0
+	for _, mask := range bm.rows {
+		if n := popcount(mask); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// FanIns returns the XOR fan-in of each output bit.
+func (bm *BitMatrix) FanIns() []int {
+	f := make([]int, len(bm.rows))
+	for i, mask := range bm.rows {
+		f[i] = popcount(mask)
+	}
+	return f
+}
+
+// GateDescription renders the XOR network in a human-readable form, one
+// line per index bit, e.g. "index[0] = a[0] ^ a[11] ^ a[14] ^ a[19]".
+func (bm *BitMatrix) GateDescription() string {
+	var b strings.Builder
+	for i, mask := range bm.rows {
+		fmt.Fprintf(&b, "index[%d] =", i)
+		first := true
+		for j := 0; j < bm.in; j++ {
+			if mask>>uint(j)&1 == 0 {
+				continue
+			}
+			if first {
+				fmt.Fprintf(&b, " a[%d]", j)
+				first = false
+			} else {
+				fmt.Fprintf(&b, " ^ a[%d]", j)
+			}
+		}
+		if first {
+			b.WriteString(" 0")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Rank returns the rank of the matrix over GF(2).  A full-rank (== m)
+// matrix distributes inputs uniformly over all 2^m outputs.
+func (bm *BitMatrix) Rank() int {
+	rows := make([]uint64, len(bm.rows))
+	copy(rows, bm.rows)
+	rank := 0
+	for col := 0; col < bm.in && rank < len(rows); col++ {
+		pivot := -1
+		for r := rank; r < len(rows); r++ {
+			if rows[r]>>uint(col)&1 == 1 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		rows[rank], rows[pivot] = rows[pivot], rows[rank]
+		for r := 0; r < len(rows); r++ {
+			if r != rank && rows[r]>>uint(col)&1 == 1 {
+				rows[r] ^= rows[rank]
+			}
+		}
+		rank++
+	}
+	return rank
+}

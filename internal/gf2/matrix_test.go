@@ -1,0 +1,161 @@
+package gf2
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestModMatrixMatchesPolynomialMod(t *testing.T) {
+	p := Poly(0b10011101) // degree-7 irreducible? verify inside
+	if !Irreducible(p) {
+		t.Fatalf("test poly %v not irreducible", p)
+	}
+	bm := NewModMatrix(p, 19)
+	f := func(a uint32) bool {
+		addr := uint64(a) & (1<<19 - 1)
+		want := uint64(Poly(addr).Mod(p))
+		return bm.Apply(uint64(a)) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModMatrixLinearity(t *testing.T) {
+	bm := NewModMatrix(Irreducibles(8, 1)[0], 20)
+	f := func(a, b uint32) bool {
+		return bm.Apply(uint64(a))^bm.Apply(uint64(b)) == bm.Apply(uint64(a^b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModMatrixDimensions(t *testing.T) {
+	bm := NewModMatrix(Irreducibles(7, 1)[0], 19)
+	if bm.InputBits() != 19 {
+		t.Errorf("InputBits = %d", bm.InputBits())
+	}
+	if bm.OutputBits() != 7 {
+		t.Errorf("OutputBits = %d", bm.OutputBits())
+	}
+}
+
+func TestModMatrixIdentityPrefix(t *testing.T) {
+	// x^j mod P = x^j for j < deg(P): the low m columns are the identity,
+	// so for addresses below 2^m the index equals the address.
+	bm := NewModMatrix(Irreducibles(7, 1)[0], 19)
+	for a := uint64(0); a < 128; a++ {
+		if got := bm.Apply(a); got != a {
+			t.Fatalf("Apply(%d) = %d, want identity below 2^m", a, got)
+		}
+	}
+}
+
+func TestModMatrixFullRank(t *testing.T) {
+	// A modulus matrix always has full rank m thanks to the identity
+	// prefix; full rank means the index is uniform over inputs.
+	for _, p := range Irreducibles(7, 4) {
+		bm := NewModMatrix(p, 19)
+		if r := bm.Rank(); r != 7 {
+			t.Errorf("poly %v: rank = %d, want 7", p, r)
+		}
+	}
+}
+
+func TestModMatrixUniformDistribution(t *testing.T) {
+	// Over all 2^13 inputs, each of the 2^7 outputs must appear exactly
+	// 2^6 times (full rank => perfectly balanced).
+	bm := NewModMatrix(Irreducibles(7, 1)[0], 13)
+	counts := make([]int, 128)
+	for a := uint64(0); a < 1<<13; a++ {
+		counts[bm.Apply(a)]++
+	}
+	for i, c := range counts {
+		if c != 64 {
+			t.Fatalf("output %d appears %d times, want 64", i, c)
+		}
+	}
+}
+
+func TestMaxFanInPaperClaim(t *testing.T) {
+	// §3.4: "the number of inputs is never higher than 5" for the paper's
+	// polynomials with 19 address bits and 7 index bits.  Check at least
+	// one degree-7 irreducible satisfies it, and report the best.
+	best := 64
+	for _, p := range Irreducibles(7, 18) {
+		bm := NewModMatrix(p, 19)
+		if f := bm.MaxFanIn(); f < best {
+			best = f
+		}
+	}
+	if best > 5 {
+		t.Errorf("best degree-7 fan-in over 19 bits = %d, paper claims <= 5", best)
+	}
+}
+
+func TestFanInsConsistent(t *testing.T) {
+	bm := NewModMatrix(Irreducibles(7, 1)[0], 19)
+	fs := bm.FanIns()
+	if len(fs) != 7 {
+		t.Fatalf("len(FanIns) = %d", len(fs))
+	}
+	max := 0
+	for i, f := range fs {
+		if f != popcount(bm.Row(i)) {
+			t.Errorf("FanIns[%d] mismatch", i)
+		}
+		if f > max {
+			max = f
+		}
+	}
+	if max != bm.MaxFanIn() {
+		t.Errorf("MaxFanIn inconsistent with FanIns")
+	}
+}
+
+func TestGateDescription(t *testing.T) {
+	bm := NewModMatrix(Poly(0b1011), 5) // x^3 + x + 1, 5 input bits
+	desc := bm.GateDescription()
+	lines := strings.Split(strings.TrimSpace(desc), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), desc)
+	}
+	// x^3 mod P = x+1, x^4 mod P = x^2+x so:
+	// index[0] = a[0] ^ a[3]; index[1] = a[1] ^ a[3] ^ a[4]; index[2] = a[2] ^ a[4]
+	if lines[0] != "index[0] = a[0] ^ a[3]" {
+		t.Errorf("line 0 = %q", lines[0])
+	}
+	if lines[1] != "index[1] = a[1] ^ a[3] ^ a[4]" {
+		t.Errorf("line 1 = %q", lines[1])
+	}
+	if lines[2] != "index[2] = a[2] ^ a[4]" {
+		t.Errorf("line 2 = %q", lines[2])
+	}
+}
+
+func TestNewModMatrixPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewModMatrix(One, 8) },
+		func() { NewModMatrix(Poly(0b1011), 0) },
+		func() { NewModMatrix(Poly(0b1011), 65) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestApplyMasksHighBits(t *testing.T) {
+	bm := NewModMatrix(Poly(0b1011), 4)
+	// Bits above input width must be ignored.
+	if bm.Apply(0xFFFF_FFFF_FFFF_FFF0) != bm.Apply(0xF0&0xF) {
+		t.Error("Apply leaked bits beyond InputBits")
+	}
+}

@@ -1,0 +1,57 @@
+package gf2
+
+// Polynomial selection helpers for hardware mapping: among all
+// irreducible moduli of a given degree, different choices yield XOR
+// networks with different gate fan-ins.  The paper's implementations
+// keep every gate's fan-in at five or below (§3.4); these helpers find
+// the minimizing polynomial for a given input width.
+
+// MinFanInIrreducible returns the irreducible polynomial of the given
+// degree whose A(x) mod P(x) bit matrix over inBits input bits has the
+// smallest maximum XOR fan-in, together with that fan-in.  Ties break
+// toward the numerically smallest polynomial.
+func MinFanInIrreducible(degree, inBits int) (Poly, int) {
+	best := Poly(0)
+	bestFan := 1 << 30
+	lo := One << uint(degree)
+	hi := lo << 1
+	for f := lo; f < hi; f++ {
+		if !Irreducible(f) {
+			continue
+		}
+		fan := NewModMatrix(f, inBits).MaxFanIn()
+		if fan < bestFan {
+			best, bestFan = f, fan
+		}
+	}
+	if best == 0 {
+		panic("gf2: no irreducible polynomial of requested degree")
+	}
+	return best, bestFan
+}
+
+// FanInTable returns, for every irreducible polynomial of the given
+// degree, its maximum XOR fan-in over inBits input bits, in increasing
+// polynomial order.
+func FanInTable(degree, inBits int) (polys []Poly, fanIns []int) {
+	lo := One << uint(degree)
+	hi := lo << 1
+	for f := lo; f < hi; f++ {
+		if !Irreducible(f) {
+			continue
+		}
+		polys = append(polys, f)
+		fanIns = append(fanIns, NewModMatrix(f, inBits).MaxFanIn())
+	}
+	return polys, fanIns
+}
+
+// TotalGateInputs returns the sum of all XOR gate fan-ins for the
+// modulus matrix of p over inBits — a rough proxy for index-logic area.
+func TotalGateInputs(p Poly, inBits int) int {
+	total := 0
+	for _, f := range NewModMatrix(p, inBits).FanIns() {
+		total += f
+	}
+	return total
+}

@@ -1,0 +1,60 @@
+package gf2
+
+import "testing"
+
+func TestMinFanInIrreducible(t *testing.T) {
+	p, fan := MinFanInIrreducible(7, 14)
+	if !Irreducible(p) || p.Degree() != 7 {
+		t.Fatalf("returned %v", p)
+	}
+	// No other irreducible of degree 7 may beat it.
+	polys, fans := FanInTable(7, 14)
+	for i := range polys {
+		if fans[i] < fan {
+			t.Errorf("%v has fan-in %d < claimed minimum %d", polys[i], fans[i], fan)
+		}
+	}
+	// The paper's configurations keep fan-in <= 5 at 19 address bits
+	// (14 block bits for 32-byte lines).
+	if fan > 5 {
+		t.Errorf("minimum fan-in %d exceeds the paper's 5", fan)
+	}
+}
+
+func TestFanInTableComplete(t *testing.T) {
+	polys, fans := FanInTable(7, 14)
+	if len(polys) != 18 || len(fans) != 18 {
+		t.Fatalf("table size %d/%d, want 18 irreducibles of degree 7", len(polys), len(fans))
+	}
+	for i, p := range polys {
+		if got := NewModMatrix(p, 14).MaxFanIn(); got != fans[i] {
+			t.Errorf("%v: table %d, recompute %d", p, fans[i], got)
+		}
+	}
+}
+
+func TestTotalGateInputs(t *testing.T) {
+	p := Irreducibles(7, 1)[0]
+	total := TotalGateInputs(p, 14)
+	fans := NewModMatrix(p, 14).FanIns()
+	want := 0
+	for _, f := range fans {
+		want += f
+	}
+	if total != want {
+		t.Errorf("TotalGateInputs = %d, want %d", total, want)
+	}
+	if total < 14 {
+		t.Errorf("total %d too small: every input bit feeds at least one gate", total)
+	}
+}
+
+func TestMinFanInPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	// Degree 0 has no irreducible polynomials.
+	MinFanInIrreducible(0, 8)
+}

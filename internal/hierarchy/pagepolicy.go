@@ -1,0 +1,119 @@
+package hierarchy
+
+import (
+	"repro/internal/cache"
+	"repro/internal/index"
+)
+
+// AdaptiveCache implements §3.1 option 2: enable I-Poly indexing at L1
+// only while every segment in use has pages large enough to expose the
+// hash's address bits, reverting to conventional indexing (and flushing)
+// otherwise.  "The O/S would need to track the page sizes of segments
+// currently in use by a process and enable polynomial cache indexing at
+// the first-level cache if all segments' page sizes were above a certain
+// threshold.  Provided the level-1 cache is flushed when the indexing
+// function is changed, there is no reason why the indexing function
+// needs to remain constant."
+type AdaptiveCache struct {
+	conv  *cache.Cache
+	ipoly *cache.Cache
+	// ThresholdBytes is the minimum segment page size required for
+	// polynomial indexing (the paper's example uses 256 KB).
+	ThresholdBytes int
+
+	segments map[string]int // segment name -> page size (bytes)
+	usePoly  bool
+
+	// Flushes counts indexing-function switches (each forces a flush).
+	Flushes uint64
+	stats   cache.Stats
+}
+
+// NewAdaptiveCache builds the two-mode cache.  Both modes share
+// geometry; ipolyPlacement must index the implied set count.
+func NewAdaptiveCache(size, blockSize, ways int, ipolyPlacement index.Placement, thresholdBytes int) *AdaptiveCache {
+	base := cache.Config{
+		Size: size, BlockSize: blockSize, Ways: ways, WriteAllocate: false,
+	}
+	ipolyCfg := base
+	ipolyCfg.Placement = ipolyPlacement
+	return &AdaptiveCache{
+		conv:           cache.New(base),
+		ipoly:          cache.New(ipolyCfg),
+		ThresholdBytes: thresholdBytes,
+		segments:       make(map[string]int),
+	}
+}
+
+// UsingPolynomial reports the current indexing mode.
+func (a *AdaptiveCache) UsingPolynomial() bool { return a.usePoly }
+
+// SetSegment records (or updates) a segment's page size and re-evaluates
+// the indexing mode, flushing on a switch.
+func (a *AdaptiveCache) SetSegment(name string, pageSizeBytes int) {
+	if pageSizeBytes <= 0 {
+		panic("hierarchy: page size must be positive")
+	}
+	a.segments[name] = pageSizeBytes
+	a.reevaluate()
+}
+
+// DropSegment removes a segment from consideration.
+func (a *AdaptiveCache) DropSegment(name string) {
+	delete(a.segments, name)
+	a.reevaluate()
+}
+
+// reevaluate recomputes the mode: polynomial iff at least one segment is
+// tracked and every one meets the threshold.
+func (a *AdaptiveCache) reevaluate() {
+	want := len(a.segments) > 0
+	for _, sz := range a.segments {
+		if sz < a.ThresholdBytes {
+			want = false
+			break
+		}
+	}
+	if want == a.usePoly {
+		return
+	}
+	// Indexing function changes: flush the L1 (both tag stores, so stale
+	// lines can never be observed through the other index function).
+	a.conv.Flush()
+	a.ipoly.Flush()
+	a.usePoly = want
+	a.Flushes++
+}
+
+// current returns the active tag store.
+func (a *AdaptiveCache) current() *cache.Cache {
+	if a.usePoly {
+		return a.ipoly
+	}
+	return a.conv
+}
+
+// Access performs a load or store through the active index function.
+func (a *AdaptiveCache) Access(addr uint64, write bool) bool {
+	hit := a.current().Access(addr, write).Hit
+	a.stats.Accesses++
+	if hit {
+		a.stats.Hits++
+		if write {
+			a.stats.WriteHits++
+		} else {
+			a.stats.ReadHits++
+		}
+	} else {
+		a.stats.Misses++
+		if write {
+			a.stats.WriteMiss++
+		} else {
+			a.stats.ReadMisses++
+		}
+	}
+	return hit
+}
+
+// Stats returns mode-independent aggregate statistics.
+func (a *AdaptiveCache) Stats() cache.Stats { return a.stats }

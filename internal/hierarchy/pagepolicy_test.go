@@ -1,0 +1,154 @@
+package hierarchy
+
+import (
+	"testing"
+
+	"repro/internal/index"
+)
+
+func newAdaptive() *AdaptiveCache {
+	return NewAdaptiveCache(8<<10, 32, 2, index.NewIPolyDefault(2, 7, 14), 256<<10)
+}
+
+func TestAdaptiveStartsConventional(t *testing.T) {
+	a := newAdaptive()
+	if a.UsingPolynomial() {
+		t.Error("no segments tracked: must start conventional")
+	}
+}
+
+func TestAdaptiveSwitchesWhenAllLarge(t *testing.T) {
+	a := newAdaptive()
+	a.SetSegment("heap", 256<<10)
+	if !a.UsingPolynomial() {
+		t.Error("single large segment should enable polynomial indexing")
+	}
+	a.SetSegment("stack", 4<<10) // small page appears
+	if a.UsingPolynomial() {
+		t.Error("small segment must force conventional indexing")
+	}
+	a.SetSegment("stack", 512<<10)
+	if !a.UsingPolynomial() {
+		t.Error("all-large again should re-enable")
+	}
+	if a.Flushes != 3 {
+		t.Errorf("Flushes = %d, want 3 (one per mode switch)", a.Flushes)
+	}
+}
+
+func TestAdaptiveFlushOnSwitch(t *testing.T) {
+	a := newAdaptive()
+	a.Access(0x1000, false)
+	if !a.Access(0x1000, false) {
+		t.Fatal("warm access missed")
+	}
+	a.SetSegment("heap", 1<<20) // switch: flush
+	if a.Access(0x1000, false) {
+		t.Error("line survived an indexing-function switch")
+	}
+}
+
+func TestAdaptiveNoSpuriousFlush(t *testing.T) {
+	a := newAdaptive()
+	a.SetSegment("heap", 1<<20)
+	f := a.Flushes
+	a.SetSegment("heap2", 2<<20) // still all-large: no switch
+	if a.Flushes != f {
+		t.Error("flushed without a mode change")
+	}
+	a.DropSegment("heap2")
+	if a.Flushes != f {
+		t.Error("dropping a compliant segment must not flush")
+	}
+}
+
+func TestAdaptiveConflictBehaviourPerMode(t *testing.T) {
+	thrash := func(a *AdaptiveCache) float64 {
+		for r := 0; r < 20; r++ {
+			for i := uint64(0); i < 4; i++ {
+				a.Access(i*8192, false)
+			}
+		}
+		return float64(a.Stats().Misses) / float64(a.Stats().Accesses)
+	}
+	conv := newAdaptive() // conventional mode
+	if mr := thrash(conv); mr < 0.9 {
+		t.Errorf("conventional mode should thrash: %.2f", mr)
+	}
+	poly := newAdaptive()
+	poly.SetSegment("heap", 1<<20)
+	if mr := thrash(poly); mr > 0.3 {
+		t.Errorf("polynomial mode should not thrash: %.2f", mr)
+	}
+}
+
+func TestAdaptivePanicsOnBadPageSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	newAdaptive().SetSegment("x", 0)
+}
+
+func TestTLBBasics(t *testing.T) {
+	tlb := NewTLB(64, 4)
+	if tlb.Lookup(5) {
+		t.Error("cold lookup hit")
+	}
+	if !tlb.Lookup(5) {
+		t.Error("warm lookup missed")
+	}
+	if tlb.MissRatio() != 0.5 {
+		t.Errorf("MissRatio = %v", tlb.MissRatio())
+	}
+	tlb.Flush()
+	if tlb.Lookup(5) {
+		t.Error("hit after flush")
+	}
+}
+
+func TestTLBLRUWithinSet(t *testing.T) {
+	tlb := NewTLB(8, 2) // 4 sets, 2 ways
+	// vpns 0, 4, 8 share set 0 (vpn & 3).
+	tlb.Lookup(0)
+	tlb.Lookup(4)
+	tlb.Lookup(0) // touch 0
+	tlb.Lookup(8) // evicts 4
+	if !tlb.Lookup(0) {
+		t.Error("0 should have survived")
+	}
+	if tlb.Lookup(4) {
+		t.Error("4 should have been evicted")
+	}
+}
+
+func TestTLBCoverage(t *testing.T) {
+	// A loop over <= entries pages hits after one round.
+	tlb := NewTLB(64, 4)
+	for round := 0; round < 3; round++ {
+		for v := uint64(0); v < 64; v++ {
+			tlb.Lookup(v)
+		}
+	}
+	if got := tlb.Misses; got != 64 {
+		t.Errorf("misses = %d, want 64 compulsory only", got)
+	}
+}
+
+func TestTLBPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewTLB(0, 1) },
+		func() { NewTLB(10, 3) },
+		func() { NewTLB(24, 2) }, // 12 sets: not a power of two
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

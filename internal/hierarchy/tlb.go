@@ -1,0 +1,90 @@
+package hierarchy
+
+// TLB models a translation lookaside buffer for the §3.1 option-1
+// analysis (performing address translation before tag lookup, i.e. a
+// physically-indexed L1).  It is a set-associative tag store over
+// virtual page numbers with LRU replacement; translation results come
+// from the PageTable, the TLB only adds hit/miss accounting and timing
+// inputs for the CPU model.
+type TLB struct {
+	sets    int
+	ways    int
+	vpns    [][]uint64
+	valid   [][]bool
+	lastUse [][]uint64
+	clock   uint64
+
+	Lookups uint64
+	Misses  uint64
+}
+
+// NewTLB returns a TLB with the given total entries and associativity.
+// Entries must be a multiple of ways and the set count a power of two.
+func NewTLB(entries, ways int) *TLB {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic("hierarchy: bad TLB geometry")
+	}
+	sets := entries / ways
+	if sets&(sets-1) != 0 {
+		panic("hierarchy: TLB set count must be a power of two")
+	}
+	t := &TLB{sets: sets, ways: ways}
+	t.vpns = make([][]uint64, sets)
+	t.valid = make([][]bool, sets)
+	t.lastUse = make([][]uint64, sets)
+	for s := 0; s < sets; s++ {
+		t.vpns[s] = make([]uint64, ways)
+		t.valid[s] = make([]bool, ways)
+		t.lastUse[s] = make([]uint64, ways)
+	}
+	return t
+}
+
+// Lookup touches the TLB with a virtual page number and reports whether
+// it hit; misses install the entry (the walk itself is the caller's
+// timing concern).
+func (t *TLB) Lookup(vpn uint64) bool {
+	t.clock++
+	t.Lookups++
+	set := vpn & uint64(t.sets-1)
+	for w := 0; w < t.ways; w++ {
+		if t.valid[set][w] && t.vpns[set][w] == vpn {
+			t.lastUse[set][w] = t.clock
+			return true
+		}
+	}
+	t.Misses++
+	victim := 0
+	oldest := ^uint64(0)
+	for w := 0; w < t.ways; w++ {
+		if !t.valid[set][w] {
+			victim = w
+			break
+		}
+		if t.lastUse[set][w] < oldest {
+			oldest = t.lastUse[set][w]
+			victim = w
+		}
+	}
+	t.vpns[set][victim] = vpn
+	t.valid[set][victim] = true
+	t.lastUse[set][victim] = t.clock
+	return false
+}
+
+// MissRatio returns misses over lookups.
+func (t *TLB) MissRatio() float64 {
+	if t.Lookups == 0 {
+		return 0
+	}
+	return float64(t.Misses) / float64(t.Lookups)
+}
+
+// Flush invalidates every entry (e.g. on a context switch).
+func (t *TLB) Flush() {
+	for s := range t.valid {
+		for w := range t.valid[s] {
+			t.valid[s][w] = false
+		}
+	}
+}

@@ -1,0 +1,289 @@
+package hierarchy
+
+import (
+	"math"
+
+	"repro/internal/cache"
+)
+
+// Config describes a two-level virtual-real hierarchy.
+type Config struct {
+	// L1 is the level-1 cache configuration.  Its placement function sees
+	// VIRTUAL block addresses.
+	L1 cache.Config
+	// L2 is the level-2 cache configuration.  Its placement function sees
+	// PHYSICAL block addresses.  L2 capacity must be >= L1 capacity for
+	// Inclusion to be meaningful.
+	L2 cache.Config
+	// PageBits is log2 of the page size (default 12, i.e. 4 KB).
+	PageBits int
+	// ScrambleSeed, if non-zero, randomizes virtual-to-physical page
+	// assignment.
+	ScrambleSeed uint64
+}
+
+// Stats accumulates hierarchy-level events.
+type Stats struct {
+	Accesses uint64
+	L1Hits   uint64
+	L1Misses uint64
+	L2Hits   uint64
+	L2Misses uint64
+	// InclusionInvalidates counts L1 lines invalidated because their data
+	// was replaced at L2.
+	InclusionInvalidates uint64
+	// Holes counts inclusion invalidations that left a usable L1 slot
+	// empty (§3.3): the invalidated line was NOT the slot just refilled.
+	Holes uint64
+	// HoleMisses counts L1 misses on blocks that were previously evicted
+	// by an inclusion invalidation (i.e. misses attributable to holes).
+	HoleMisses uint64
+	// AliasInvalidates counts L1 lines removed to keep at most one
+	// virtual alias resident (§3.3 cause 2).
+	AliasInvalidates uint64
+	// ExternalInvalidates counts coherence invalidations (§3.3 cause 3).
+	ExternalInvalidates uint64
+}
+
+// L1MissRatio returns L1 misses over accesses.
+func (s Stats) L1MissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.L1Misses) / float64(s.Accesses)
+}
+
+// HoleRate returns the fraction of L2 misses that created an L1 hole —
+// the quantity the paper's probabilistic model predicts (eq. ix).
+func (s Stats) HoleRate() float64 {
+	if s.L2Misses == 0 {
+		return 0
+	}
+	return float64(s.Holes) / float64(s.L2Misses)
+}
+
+// TwoLevel is the virtual-real two-level cache.  It is not safe for
+// concurrent use.
+type TwoLevel struct {
+	L1 *cache.Cache
+	L2 *cache.Cache
+	PT *PageTable
+
+	blockBits int
+	pageBits  int
+	stats     Stats
+
+	// l1Resident maps a physical block to the set of virtual blocks
+	// currently resident in L1 — the reverse pointers the virtual-real
+	// protocol maintains so physical invalidations can find virtual
+	// lines without reverse translation.
+	l1Resident map[uint64]map[uint64]struct{}
+	// holed records blocks evicted from L1 by inclusion invalidations,
+	// so later misses on them can be attributed to holes.
+	holed map[uint64]struct{}
+}
+
+// New builds the hierarchy.  Both cache configs must share a block size.
+func New(cfg Config) *TwoLevel {
+	if cfg.L1.BlockSize != cfg.L2.BlockSize {
+		panic("hierarchy: L1 and L2 must share a block size")
+	}
+	if cfg.L2.Size < cfg.L1.Size {
+		panic("hierarchy: L2 must be at least as large as L1")
+	}
+	pageBits := cfg.PageBits
+	if pageBits == 0 {
+		pageBits = 12
+	}
+	h := &TwoLevel{
+		L1:         cache.New(cfg.L1),
+		L2:         cache.New(cfg.L2),
+		PT:         NewPageTable(pageBits, cfg.ScrambleSeed),
+		pageBits:   pageBits,
+		l1Resident: make(map[uint64]map[uint64]struct{}),
+		holed:      make(map[uint64]struct{}),
+	}
+	for bs := cfg.L1.BlockSize; bs > 1; bs >>= 1 {
+		h.blockBits++
+	}
+	// Keep the reverse pointers in sync with natural L1 evictions.
+	h.L1.OnEvict = func(vblock uint64, _ bool) {
+		h.dropResident(vblock)
+	}
+	return h
+}
+
+// Stats returns the accumulated hierarchy statistics.
+func (h *TwoLevel) Stats() Stats { return h.stats }
+
+// vblockToPhys translates a virtual block address to its physical block
+// address via the page table.
+func (h *TwoLevel) vblockToPhys(vblock uint64) uint64 {
+	vaddr := vblock << uint(h.blockBits)
+	return h.PT.Translate(vaddr) >> uint(h.blockBits)
+}
+
+// dropResident removes vblock from the reverse-pointer map.
+func (h *TwoLevel) dropResident(vblock uint64) {
+	pblock := h.vblockToPhys(vblock)
+	if set, ok := h.l1Resident[pblock]; ok {
+		delete(set, vblock)
+		if len(set) == 0 {
+			delete(h.l1Resident, pblock)
+		}
+	}
+}
+
+// addResident records vblock as L1-resident.
+func (h *TwoLevel) addResident(vblock, pblock uint64) {
+	set, ok := h.l1Resident[pblock]
+	if !ok {
+		set = make(map[uint64]struct{}, 1)
+		h.l1Resident[pblock] = set
+	}
+	set[vblock] = struct{}{}
+}
+
+// Access performs a load (write=false) or store (write=true) of the
+// virtual byte address.
+func (h *TwoLevel) Access(vaddr uint64, write bool) {
+	h.stats.Accesses++
+	vblock := h.L1.Block(vaddr)
+
+	res := h.L1.AccessBlock(vblock, write)
+	if res.Hit {
+		h.stats.L1Hits++
+		if write && !h.L1.Config().WriteBack {
+			// Write-through: the store also updates L2, whose fill (if L2
+			// somehow misses) can evict and must preserve Inclusion.
+			h.processInclusion(h.accessL2(vblock, true))
+		}
+		return
+	}
+	// L1 miss.  Note AccessBlock has already performed the L1 fill for
+	// loads (and for stores when L1 allocates on write); its displacement
+	// was reported through OnEvict and removed from the reverse pointers.
+	h.stats.L1Misses++
+	if _, wasHoled := h.holed[vblock]; wasHoled {
+		h.stats.HoleMisses++
+		delete(h.holed, vblock)
+	}
+
+	pblock := h.vblockToPhys(vblock)
+
+	// Bring the line into L2 (and record evictions for Inclusion).
+	evicted := h.accessL2(vblock, write)
+
+	if res.Filled {
+		// Remove any other virtual alias of this physical block (at most
+		// one alias may be L1-resident, §3.3 cause 2).
+		if set, ok := h.l1Resident[pblock]; ok {
+			for alias := range set {
+				if alias == vblock {
+					continue
+				}
+				if h.L1.Invalidate(alias) {
+					h.stats.AliasInvalidates++
+				}
+				delete(set, alias)
+			}
+		}
+		h.addResident(vblock, pblock)
+	}
+
+	// Enforce Inclusion: every physical block replaced at L2 must leave
+	// L1 too.  If the invalidated line was not the slot just refilled,
+	// an L1 hole has been created (§3.3 cause 1); if the refill already
+	// displaced it, Invalidate finds nothing and no hole is counted —
+	// exactly the coincidence term (eq. viii) in the paper's model.
+	h.processInclusion(evicted)
+}
+
+// processInclusion invalidates the L1 images of physical blocks evicted
+// from L2, counting holes.
+func (h *TwoLevel) processInclusion(evicted []uint64) {
+	for _, evictedPhys := range evicted {
+		set, ok := h.l1Resident[evictedPhys]
+		if !ok {
+			continue
+		}
+		for victimV := range set {
+			if h.L1.Invalidate(victimV) {
+				h.stats.InclusionInvalidates++
+				h.stats.Holes++
+				h.holed[victimV] = struct{}{}
+			}
+		}
+		delete(h.l1Resident, evictedPhys)
+	}
+}
+
+// accessL2 performs the physical L2 access for vblock, returning the
+// physical blocks evicted by any fill.  A second L1-miss bookkeeping
+// note: L2 here is write-allocate for stores only if configured so.
+func (h *TwoLevel) accessL2(vblock uint64, write bool) []uint64 {
+	pblock := h.vblockToPhys(vblock)
+	var evicted []uint64
+	prev := h.L2.OnEvict
+	h.L2.OnEvict = func(b uint64, dirty bool) {
+		evicted = append(evicted, b)
+		if prev != nil {
+			prev(b, dirty)
+		}
+	}
+	res := h.L2.AccessBlock(pblock, write)
+	h.L2.OnEvict = prev
+	if res.Hit {
+		h.stats.L2Hits++
+	} else {
+		h.stats.L2Misses++
+	}
+	return evicted
+}
+
+// ExternalInvalidate models a coherence invalidation for a physical
+// block arriving from another processor (§3.3 cause 3): the block is
+// dropped from L2 and from any virtual alias in L1.
+func (h *TwoLevel) ExternalInvalidate(pblock uint64) {
+	h.L2.Invalidate(pblock)
+	if set, ok := h.l1Resident[pblock]; ok {
+		for v := range set {
+			if h.L1.Invalidate(v) {
+				h.stats.ExternalInvalidates++
+			}
+		}
+		delete(h.l1Resident, pblock)
+	}
+}
+
+// CheckInclusion audits that every L1-resident block's physical image is
+// present in L2, returning the number of violations (0 means Inclusion
+// holds).
+func (h *TwoLevel) CheckInclusion() int {
+	violations := 0
+	for _, vblock := range h.L1.Contents() {
+		if !h.L2.Probe(h.vblockToPhys(vblock)) {
+			violations++
+		}
+	}
+	return violations
+}
+
+// ModelPH returns the paper's analytical probability (eq. ix) that an L2
+// miss creates a hole at L1: P_H = (2^m1 - 1) / 2^m2, where m1 and m2
+// are the L1 and L2 index bit counts.  For the paper's example (8 KB L1,
+// 256 KB L2, 32 B lines, direct-mapped) P_H = 0.031.
+func ModelPH(m1, m2 int) float64 {
+	return (math.Pow(2, float64(m1)) - 1) / math.Pow(2, float64(m2))
+}
+
+// ModelPr returns eq. vii: the probability that data replaced at L2 is
+// also present in a direct-mapped L1, 2^(m1-m2).
+func ModelPr(m1, m2 int) float64 { return math.Pow(2, float64(m1-m2)) }
+
+// ModelPd returns eq. viii: the probability that eliminating an L1 line
+// to preserve Inclusion leaves a hole, (2^m1 - 1) / 2^m1.
+func ModelPd(m1 int) float64 {
+	p := math.Pow(2, float64(m1))
+	return (p - 1) / p
+}

@@ -1,0 +1,71 @@
+package index
+
+import "fmt"
+
+// Scheme names an indexing scheme in the paper's notation.
+type Scheme string
+
+// The schemes compared in the paper's Figure 1, plus the degenerate
+// single-set placement used by fully-associative caches.
+const (
+	SchemeModulo  Scheme = "a2"       // conventional modulo power-of-two
+	SchemeXOR     Scheme = "a2-Hx"    // XOR fold, unskewed
+	SchemeXORSk   Scheme = "a2-Hx-Sk" // XOR fold, skewed (skewed-associative)
+	SchemeIPoly   Scheme = "a2-Hp"    // polynomial modulus, shared P
+	SchemeIPolySk Scheme = "a2-Hp-Sk" // polynomial modulus, per-way P
+	SchemeSingle  Scheme = "fa"       // single set (fully associative)
+)
+
+// Single is the degenerate placement with one set, used for
+// fully-associative caches.
+type Single struct{}
+
+// SetIndex implements Placement.
+func (Single) SetIndex(uint64, int) uint64 { return 0 }
+
+// Sets implements Placement.
+func (Single) Sets() int { return 1 }
+
+// Skewed implements Placement.
+func (Single) Skewed() bool { return false }
+
+// Name implements Placement.
+func (Single) Name() string { return "fa" }
+
+// New constructs the named placement over 2^bits sets for a cache with
+// the given number of ways.  vbits is the number of block-address bits
+// available to hash functions (ignored by SchemeModulo and SchemeSingle;
+// the paper uses 19 address bits, i.e. vbits = 19 - log2(blockSize)).
+func New(s Scheme, bits, ways, vbits int) (Placement, error) {
+	switch s {
+	case SchemeModulo:
+		return NewModulo(bits), nil
+	case SchemeXOR:
+		return NewXORFold(bits, false), nil
+	case SchemeXORSk:
+		return NewXORFold(bits, true), nil
+	case SchemeIPoly:
+		return NewIPolyDefault(1, bits, vbits), nil
+	case SchemeIPolySk:
+		return NewIPolyDefault(ways, bits, vbits), nil
+	case SchemeSingle:
+		return Single{}, nil
+	default:
+		return nil, fmt.Errorf("index: unknown scheme %q", s)
+	}
+}
+
+// MustNew is New but panics on error; for tests and static configs.
+func MustNew(s Scheme, bits, ways, vbits int) Placement {
+	p, err := New(s, bits, ways, vbits)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// AllSchemes lists the placement schemes in the order the paper's
+// Figure 1 presents them.
+func AllSchemes() []Scheme {
+	return []Scheme{SchemeModulo, SchemeXORSk, SchemeIPoly, SchemeIPolySk}
+}

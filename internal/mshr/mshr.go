@@ -1,0 +1,143 @@
+// Package mshr models the lockup-free miss handling of the paper's L1
+// data cache (Kroft [14]): a file of miss status holding registers that
+// allows up to N outstanding misses to distinct cache lines, with
+// secondary misses to an in-flight line merged into the existing entry,
+// plus the 64-bit L1–L2 bus on which a 32-byte line transfer occupies
+// four cycles (§4).
+package mshr
+
+// File is a set of MSHRs.  Times are in CPU cycles; the caller supplies
+// the current cycle on every operation.  The zero value is not usable;
+// call NewFile.
+type File struct {
+	entries  map[uint64]uint64 // block -> completion cycle
+	capacity int
+
+	// Stats
+	Allocations uint64 // primary misses that took an entry
+	Merges      uint64 // secondary misses merged into an entry
+	FullStalls  uint64 // requests rejected because the file was full
+}
+
+// NewFile returns an MSHR file with the given number of entries.  The
+// paper's configuration uses 8.
+func NewFile(capacity int) *File {
+	if capacity <= 0 {
+		panic("mshr: capacity must be positive")
+	}
+	return &File{entries: make(map[uint64]uint64, capacity), capacity: capacity}
+}
+
+// Capacity returns the entry count.
+func (f *File) Capacity() int { return f.capacity }
+
+// InFlight returns the number of live entries at the given cycle,
+// retiring completed ones first.
+func (f *File) InFlight(now uint64) int {
+	f.retire(now)
+	return len(f.entries)
+}
+
+// Lookup returns the completion cycle of an in-flight miss on block, if
+// any.
+func (f *File) Lookup(now, block uint64) (completion uint64, ok bool) {
+	f.retire(now)
+	c, ok := f.entries[block]
+	return c, ok
+}
+
+// Full reports whether the file has no free entry at the given cycle.
+func (f *File) Full(now uint64) bool {
+	f.retire(now)
+	return len(f.entries) >= f.capacity
+}
+
+// NoteMerge lets a caller that resolved a secondary miss via Lookup
+// record it in the merge statistics.
+func (f *File) NoteMerge() { f.Merges++ }
+
+// NoteFullStall lets a caller that pre-checked Full and deferred its
+// request record the lockup in the stall statistics.
+func (f *File) NoteFullStall() { f.FullStalls++ }
+
+// Request records a miss on block at cycle now that will complete at
+// cycle done.  It returns the completion cycle and whether the request
+// was accepted: a secondary miss merges (returning the existing, earlier
+// completion), a primary miss allocates, and a full file rejects the
+// request (the cache locks up until an entry retires).
+func (f *File) Request(now, block, done uint64) (completion uint64, accepted bool) {
+	f.retire(now)
+	if c, ok := f.entries[block]; ok {
+		f.Merges++
+		return c, true
+	}
+	if len(f.entries) >= f.capacity {
+		f.FullStalls++
+		return 0, false
+	}
+	f.entries[block] = done
+	f.Allocations++
+	return done, true
+}
+
+// NextRetirement returns the earliest completion cycle among live
+// entries, or 0 if none; use it to schedule a retry after a FullStall.
+func (f *File) NextRetirement(now uint64) uint64 {
+	f.retire(now)
+	var min uint64
+	for _, c := range f.entries {
+		if min == 0 || c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// retire drops entries whose completion cycle has passed.
+func (f *File) retire(now uint64) {
+	for b, c := range f.entries {
+		if c <= now {
+			delete(f.entries, b)
+		}
+	}
+}
+
+// Bus models a single shared bus with fixed per-transaction occupancy:
+// a transaction issued at cycle t starts at max(t, free) and holds the
+// bus for Occupancy cycles.  The paper's 64-bit L1–L2 bus carries a
+// 32-byte line in 4 cycles.
+type Bus struct {
+	// Occupancy is the cycles one transaction holds the bus.
+	Occupancy uint64
+
+	free uint64 // first cycle the bus is idle
+
+	// Transactions counts issued transfers; BusyWait accumulates cycles
+	// transactions spent queued behind earlier ones.
+	Transactions uint64
+	BusyWait     uint64
+}
+
+// NewBus returns a bus with the given per-transaction occupancy.
+func NewBus(occupancy uint64) *Bus {
+	if occupancy == 0 {
+		panic("mshr: bus occupancy must be positive")
+	}
+	return &Bus{Occupancy: occupancy}
+}
+
+// Acquire schedules a transaction requested at cycle now and returns the
+// cycle the transfer completes.
+func (b *Bus) Acquire(now uint64) (done uint64) {
+	start := now
+	if b.free > start {
+		b.BusyWait += b.free - start
+		start = b.free
+	}
+	b.free = start + b.Occupancy
+	b.Transactions++
+	return b.free
+}
+
+// FreeAt returns the first cycle the bus is idle.
+func (b *Bus) FreeAt() uint64 { return b.free }

@@ -1,0 +1,127 @@
+package mshr
+
+import "testing"
+
+func TestPrimaryAndSecondaryMiss(t *testing.T) {
+	f := NewFile(8)
+	done, ok := f.Request(10, 100, 30)
+	if !ok || done != 30 {
+		t.Fatalf("primary miss: done=%d ok=%v", done, ok)
+	}
+	// Secondary miss on the same block merges and keeps the original
+	// completion time.
+	done, ok = f.Request(12, 100, 32)
+	if !ok || done != 30 {
+		t.Fatalf("secondary miss: done=%d ok=%v", done, ok)
+	}
+	if f.Allocations != 1 || f.Merges != 1 {
+		t.Errorf("stats: %+v", *f)
+	}
+}
+
+func TestCapacityAndStall(t *testing.T) {
+	f := NewFile(2)
+	f.Request(0, 1, 20)
+	f.Request(0, 2, 25)
+	if _, ok := f.Request(0, 3, 30); ok {
+		t.Fatal("third distinct miss should be rejected")
+	}
+	if f.FullStalls != 1 {
+		t.Errorf("FullStalls = %d", f.FullStalls)
+	}
+	if got := f.NextRetirement(0); got != 20 {
+		t.Errorf("NextRetirement = %d, want 20", got)
+	}
+	// After entry 1 retires at cycle 20 there is room again.
+	if _, ok := f.Request(20, 3, 40); !ok {
+		t.Fatal("request after retirement rejected")
+	}
+}
+
+func TestRetirement(t *testing.T) {
+	f := NewFile(4)
+	f.Request(0, 1, 10)
+	f.Request(0, 2, 15)
+	if n := f.InFlight(5); n != 2 {
+		t.Errorf("InFlight(5) = %d", n)
+	}
+	if n := f.InFlight(10); n != 1 {
+		t.Errorf("InFlight(10) = %d (completion at 10 should retire)", n)
+	}
+	if n := f.InFlight(100); n != 0 {
+		t.Errorf("InFlight(100) = %d", n)
+	}
+	if f.NextRetirement(100) != 0 {
+		t.Error("empty file NextRetirement should be 0")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	f := NewFile(4)
+	f.Request(0, 7, 12)
+	if c, ok := f.Lookup(3, 7); !ok || c != 12 {
+		t.Errorf("Lookup = %d, %v", c, ok)
+	}
+	if _, ok := f.Lookup(3, 8); ok {
+		t.Error("Lookup of absent block succeeded")
+	}
+	if _, ok := f.Lookup(12, 7); ok {
+		t.Error("Lookup after completion should miss")
+	}
+}
+
+func TestFilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewFile(0)
+}
+
+func TestBusSerialization(t *testing.T) {
+	b := NewBus(4)
+	if done := b.Acquire(0); done != 4 {
+		t.Errorf("first transfer done at %d, want 4", done)
+	}
+	// Second transfer at cycle 1 queues behind the first.
+	if done := b.Acquire(1); done != 8 {
+		t.Errorf("queued transfer done at %d, want 8", done)
+	}
+	if b.BusyWait != 3 {
+		t.Errorf("BusyWait = %d, want 3", b.BusyWait)
+	}
+	// A transfer after the bus drains starts immediately.
+	if done := b.Acquire(20); done != 24 {
+		t.Errorf("idle-bus transfer done at %d, want 24", done)
+	}
+	if b.Transactions != 3 {
+		t.Errorf("Transactions = %d", b.Transactions)
+	}
+	if b.FreeAt() != 24 {
+		t.Errorf("FreeAt = %d", b.FreeAt())
+	}
+}
+
+func TestBusPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewBus(0)
+}
+
+func TestPaperConfiguration(t *testing.T) {
+	// 8 MSHRs, 4-cycle line occupancy: 8 outstanding misses to distinct
+	// lines are accepted, the 9th stalls.
+	f := NewFile(8)
+	for i := uint64(0); i < 8; i++ {
+		if _, ok := f.Request(0, i, 20+i); !ok {
+			t.Fatalf("miss %d rejected", i)
+		}
+	}
+	if _, ok := f.Request(0, 99, 40); ok {
+		t.Error("9th distinct miss accepted")
+	}
+}

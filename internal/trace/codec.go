@@ -1,0 +1,206 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Binary trace format: a 8-byte magic header followed by fixed 20-byte
+// little-endian records (pc:8, addr:8, op:1, dst:1, src1:1, src2:1 with
+// the taken flag packed into the top bit of op).
+
+var magic = [8]byte{'I', 'P', 'O', 'L', 'Y', 'T', 'R', '1'}
+
+const recSize = 20
+
+const takenBit = 0x80
+
+// ErrBadMagic is returned when a binary trace has the wrong header.
+var ErrBadMagic = errors.New("trace: bad magic header")
+
+// Writer encodes records to an io.Writer in the binary format.
+type Writer struct {
+	w     *bufio.Writer
+	wrote bool
+}
+
+// NewWriter returns a binary trace writer.  Call Flush when done.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
+
+// Write encodes one record.
+func (tw *Writer) Write(r Rec) error {
+	if !tw.wrote {
+		if _, err := tw.w.Write(magic[:]); err != nil {
+			return err
+		}
+		tw.wrote = true
+	}
+	var buf [recSize]byte
+	binary.LittleEndian.PutUint64(buf[0:], r.PC)
+	binary.LittleEndian.PutUint64(buf[8:], r.Addr)
+	op := uint8(r.Op)
+	if r.Taken {
+		op |= takenBit
+	}
+	buf[16] = op
+	buf[17] = r.Dst
+	buf[18] = r.Src1
+	buf[19] = r.Src2
+	_, err := tw.w.Write(buf[:])
+	return err
+}
+
+// Flush flushes buffered output, writing the header even for an empty
+// trace.
+func (tw *Writer) Flush() error {
+	if !tw.wrote {
+		if _, err := tw.w.Write(magic[:]); err != nil {
+			return err
+		}
+		tw.wrote = true
+	}
+	return tw.w.Flush()
+}
+
+// Reader decodes records from an io.Reader in the binary format and
+// implements Stream.
+type Reader struct {
+	r       *bufio.Reader
+	started bool
+	err     error
+}
+
+// NewReader returns a binary trace reader.
+func NewReader(r io.Reader) *Reader { return &Reader{r: bufio.NewReader(r)} }
+
+// Err returns the first non-EOF error encountered.
+func (tr *Reader) Err() error { return tr.err }
+
+// Next implements Stream.  It returns false at EOF or on error; check
+// Err to distinguish.
+func (tr *Reader) Next() (Rec, bool) {
+	if tr.err != nil {
+		return Rec{}, false
+	}
+	if !tr.started {
+		var hdr [8]byte
+		if _, err := io.ReadFull(tr.r, hdr[:]); err != nil {
+			if err != io.EOF {
+				tr.err = err
+			} else {
+				tr.err = ErrBadMagic
+			}
+			return Rec{}, false
+		}
+		if hdr != magic {
+			tr.err = ErrBadMagic
+			return Rec{}, false
+		}
+		tr.started = true
+	}
+	var buf [recSize]byte
+	if _, err := io.ReadFull(tr.r, buf[:]); err != nil {
+		if err != io.EOF {
+			tr.err = fmt.Errorf("trace: truncated record: %w", err)
+		}
+		return Rec{}, false
+	}
+	op := buf[16]
+	rec := Rec{
+		PC:    binary.LittleEndian.Uint64(buf[0:]),
+		Addr:  binary.LittleEndian.Uint64(buf[8:]),
+		Op:    Op(op &^ takenBit),
+		Taken: op&takenBit != 0,
+		Dst:   buf[17],
+		Src1:  buf[18],
+		Src2:  buf[19],
+	}
+	if !rec.Op.Valid() {
+		tr.err = fmt.Errorf("trace: invalid op %d", rec.Op)
+		return Rec{}, false
+	}
+	return rec, true
+}
+
+// WriteText writes records in a whitespace-separated human-readable text
+// form, one record per line: "pc op addr dst src1 src2 taken".
+func WriteText(w io.Writer, recs []Rec) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range recs {
+		taken := 0
+		if r.Taken {
+			taken = 1
+		}
+		if _, err := fmt.Fprintf(bw, "%#x %s %#x %d %d %d %d\n",
+			r.PC, r.Op, r.Addr, r.Dst, r.Src1, r.Src2, taken); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the format produced by WriteText.
+func ReadText(r io.Reader) ([]Rec, error) {
+	var out []Rec
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 7 {
+			return nil, fmt.Errorf("trace: line %d: want 7 fields, got %d", lineNo, len(f))
+		}
+		pc, err := strconv.ParseUint(strings.TrimPrefix(f[0], "0x"), 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: pc: %v", lineNo, err)
+		}
+		op, err := parseOp(f[1])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+		}
+		addr, err := strconv.ParseUint(strings.TrimPrefix(f[2], "0x"), 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: addr: %v", lineNo, err)
+		}
+		regs := make([]uint8, 3)
+		for i := 0; i < 3; i++ {
+			v, err := strconv.ParseUint(f[3+i], 10, 8)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: reg: %v", lineNo, err)
+			}
+			regs[i] = uint8(v)
+		}
+		taken, err := strconv.ParseUint(f[6], 10, 1)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: taken: %v", lineNo, err)
+		}
+		out = append(out, Rec{
+			PC: pc, Addr: addr, Op: op,
+			Dst: regs[0], Src1: regs[1], Src2: regs[2],
+			Taken: taken == 1,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseOp(s string) (Op, error) {
+	for i, n := range opNames {
+		if n == s {
+			return Op(i), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown op %q", s)
+}

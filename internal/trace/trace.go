@@ -1,0 +1,151 @@
+// Package trace defines the canonical instruction-trace record consumed
+// by the cache and CPU simulators, together with binary and text codecs
+// and stream utilities.  A trace is the moral equivalent of the Spec95
+// address/instruction traces the paper's authors drove their simulator
+// with; ours are produced synthetically by package workload.
+package trace
+
+import "fmt"
+
+// Op classifies an instruction for functional-unit scheduling (Table 1 of
+// the paper) and memory behaviour.
+type Op uint8
+
+// Instruction classes.  The latency/repeat-rate mapping lives in the CPU
+// model; here we only name the classes.
+const (
+	OpIntALU Op = iota // simple integer (1 cycle)
+	OpIntMul           // complex integer multiply (9 cycles)
+	OpIntDiv           // complex integer divide (67 cycles)
+	OpFPALU            // simple FP (4 cycles)
+	OpFPMul            // FP multiply (4 cycles)
+	OpFPDiv            // FP divide (16 cycles)
+	OpFPSqrt           // FP square root (35 cycles)
+	OpLoad             // memory load
+	OpStore            // memory store
+	OpBranch           // conditional branch
+	numOps
+)
+
+var opNames = [...]string{
+	"ialu", "imul", "idiv", "fpalu", "fpmul", "fpdiv", "fpsqrt",
+	"load", "store", "branch",
+}
+
+// String returns the mnemonic for the op class.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o names a defined op class.
+func (o Op) Valid() bool { return o < numOps }
+
+// IsMem reports whether the op accesses memory.
+func (o Op) IsMem() bool { return o == OpLoad || o == OpStore }
+
+// IsFP reports whether the op uses the floating-point register file.
+func (o Op) IsFP() bool { return o >= OpFPALU && o <= OpFPSqrt }
+
+// Rec is one dynamic instruction.  Registers are architectural numbers in
+// [0, 32); the integer and FP files are separate namespaces.  Addr is the
+// virtual byte address for loads and stores (0 otherwise).  Taken is the
+// actual outcome for branches.
+type Rec struct {
+	PC    uint64
+	Addr  uint64
+	Op    Op
+	Dst   uint8
+	Src1  uint8
+	Src2  uint8
+	Taken bool
+}
+
+// String renders a record for debugging.
+func (r Rec) String() string {
+	switch {
+	case r.Op.IsMem():
+		return fmt.Sprintf("%#x %s r%d <- [%#x]", r.PC, r.Op, r.Dst, r.Addr)
+	case r.Op == OpBranch:
+		return fmt.Sprintf("%#x %s taken=%v", r.PC, r.Op, r.Taken)
+	default:
+		return fmt.Sprintf("%#x %s r%d <- r%d, r%d", r.PC, r.Op, r.Dst, r.Src1, r.Src2)
+	}
+}
+
+// Stream yields trace records one at a time.  Next returns false when the
+// stream is exhausted.  Streams are single-use.
+type Stream interface {
+	Next() (Rec, bool)
+}
+
+// SliceStream adapts a slice of records into a Stream.
+type SliceStream struct {
+	recs []Rec
+	pos  int
+}
+
+// NewSliceStream returns a Stream over recs.  The slice is not copied.
+func NewSliceStream(recs []Rec) *SliceStream { return &SliceStream{recs: recs} }
+
+// Next implements Stream.
+func (s *SliceStream) Next() (Rec, bool) {
+	if s.pos >= len(s.recs) {
+		return Rec{}, false
+	}
+	r := s.recs[s.pos]
+	s.pos++
+	return r, true
+}
+
+// Collect drains up to max records from a stream into a slice.  A max of
+// 0 means no limit.
+func Collect(s Stream, max int) []Rec {
+	var out []Rec
+	for {
+		if max > 0 && len(out) >= max {
+			return out
+		}
+		r, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}
+
+// Limit wraps a stream, truncating it after n records.
+type Limit struct {
+	S Stream
+	N int
+}
+
+// Next implements Stream.
+func (l *Limit) Next() (Rec, bool) {
+	if l.N <= 0 {
+		return Rec{}, false
+	}
+	l.N--
+	return l.S.Next()
+}
+
+// MemOnly wraps a stream, yielding only load/store records — the view a
+// trace-driven cache simulator needs.
+type MemOnly struct {
+	S Stream
+}
+
+// Next implements Stream.
+func (m *MemOnly) Next() (Rec, bool) {
+	for {
+		r, ok := m.S.Next()
+		if !ok {
+			return Rec{}, false
+		}
+		if r.Op.IsMem() {
+			return r, true
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleRecs() []Rec {
+	return []Rec{
+		{PC: 0x1000, Op: OpIntALU, Dst: 3, Src1: 1, Src2: 2},
+		{PC: 0x1004, Op: OpLoad, Addr: 0xdead00, Dst: 4, Src1: 3},
+		{PC: 0x1008, Op: OpBranch, Taken: true},
+		{PC: 0x100c, Op: OpStore, Addr: 0xbeef00, Src1: 4},
+		{PC: 0x1010, Op: OpFPDiv, Dst: 7, Src1: 5, Src2: 6},
+	}
+}
+
+func TestOpProperties(t *testing.T) {
+	if !OpLoad.IsMem() || !OpStore.IsMem() || OpIntALU.IsMem() {
+		t.Error("IsMem wrong")
+	}
+	if !OpFPALU.IsFP() || !OpFPSqrt.IsFP() || OpLoad.IsFP() || OpIntMul.IsFP() {
+		t.Error("IsFP wrong")
+	}
+	if OpBranch.String() != "branch" || OpIntALU.String() != "ialu" {
+		t.Error("String wrong")
+	}
+	if !OpBranch.Valid() || Op(200).Valid() {
+		t.Error("Valid wrong")
+	}
+	if !strings.Contains(Op(200).String(), "200") {
+		t.Error("unknown op String should include number")
+	}
+}
+
+func TestRecString(t *testing.T) {
+	recs := sampleRecs()
+	if !strings.Contains(recs[1].String(), "load") {
+		t.Error("load String wrong")
+	}
+	if !strings.Contains(recs[2].String(), "taken=true") {
+		t.Error("branch String wrong")
+	}
+	if !strings.Contains(recs[0].String(), "ialu") {
+		t.Error("alu String wrong")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	recs := sampleRecs()
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	got := Collect(r, 0)
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("record %d: got %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestBinaryRoundTripQuick(t *testing.T) {
+	f := func(pc, addr uint64, op uint8, dst, s1, s2 uint8, taken bool) bool {
+		rec := Rec{PC: pc, Addr: addr, Op: Op(op % uint8(numOps)), Dst: dst, Src1: s1, Src2: s2, Taken: taken}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.Write(rec); err != nil {
+			return false
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		r := NewReader(&buf)
+		got, ok := r.Next()
+		return ok && got == rec
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyTraceHasHeader(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 8 {
+		t.Fatalf("empty trace is %d bytes, want 8 (magic)", buf.Len())
+	}
+	r := NewReader(&buf)
+	if _, ok := r.Next(); ok {
+		t.Error("empty trace yielded a record")
+	}
+	if r.Err() != nil {
+		t.Errorf("clean EOF should not set Err: %v", r.Err())
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	r := NewReader(strings.NewReader("NOTATRACE"))
+	if _, ok := r.Next(); ok {
+		t.Error("bad magic yielded a record")
+	}
+	if r.Err() != ErrBadMagic {
+		t.Errorf("Err = %v, want ErrBadMagic", r.Err())
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(sampleRecs()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	r := NewReader(bytes.NewReader(trunc))
+	if _, ok := r.Next(); ok {
+		t.Error("truncated record decoded")
+	}
+	if r.Err() == nil {
+		t.Error("truncation should set Err")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	recs := sampleRecs()
+	if err := WriteText(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("record %d: got %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestTextCommentsAndBlanks(t *testing.T) {
+	in := "# comment\n\n0x10 load 0x20 1 2 0 0\n"
+	got, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Op != OpLoad {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestTextErrors(t *testing.T) {
+	bad := []string{
+		"0x10 load 0x20 1 2 0",        // too few fields
+		"zz load 0x20 1 2 0 0",        // bad pc
+		"0x10 bogus 0x20 1 2 0 0",     // bad op
+		"0x10 load zz 1 2 0 0",        // bad addr
+		"0x10 load 0x20 999 2 0 0",    // reg overflow
+		"0x10 load 0x20 1 2 0 notabo", // bad taken
+	}
+	for _, s := range bad {
+		if _, err := ReadText(strings.NewReader(s)); err == nil {
+			t.Errorf("ReadText(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestSliceStreamAndLimit(t *testing.T) {
+	recs := sampleRecs()
+	s := &Limit{S: NewSliceStream(recs), N: 2}
+	got := Collect(s, 0)
+	if len(got) != 2 {
+		t.Errorf("Limit yielded %d", len(got))
+	}
+	// Collect with max.
+	got = Collect(NewSliceStream(recs), 3)
+	if len(got) != 3 {
+		t.Errorf("Collect max yielded %d", len(got))
+	}
+}
+
+func TestMemOnly(t *testing.T) {
+	m := &MemOnly{S: NewSliceStream(sampleRecs())}
+	got := Collect(m, 0)
+	if len(got) != 2 {
+		t.Fatalf("MemOnly yielded %d records", len(got))
+	}
+	for _, r := range got {
+		if !r.Op.IsMem() {
+			t.Errorf("non-mem record %v passed filter", r)
+		}
+	}
+}

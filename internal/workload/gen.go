@@ -1,0 +1,197 @@
+package workload
+
+import (
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// Generator turns a Profile into an infinite trace.Stream.  Each
+// iteration of the synthetic loop body emits, in order: one memory access
+// per array, the random loads, the integer and FP arithmetic, a
+// data-dependent branch, and the loop back-edge branch.  PCs are fixed
+// per body slot so branch and address predictors see realistic,
+// per-instruction-stable streams.
+type Generator struct {
+	prof   Profile
+	rnd    *rng.RNG
+	iter   uint64
+	buf    []trace.Rec
+	pos    int
+	pcBase uint64
+	// rolling destination registers for dependency structure
+	intReg uint8
+	fpReg  uint8
+}
+
+// NewGenerator returns a generator for prof seeded with seed.
+func NewGenerator(prof Profile, seed uint64) *Generator {
+	return &Generator{
+		prof:   prof,
+		rnd:    rng.New(seed ^ hashName(prof.Name)),
+		pcBase: 0x40000000 + hashName(prof.Name)<<16&0x0FFF0000,
+	}
+}
+
+// Stream returns an infinite stream for prof; wrap in trace.Limit to
+// bound it.
+func Stream(prof Profile, seed uint64) trace.Stream { return NewGenerator(prof, seed) }
+
+// hashName derives a stable 64-bit value from a profile name (FNV-1a).
+func hashName(s string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Next implements trace.Stream.  The stream never ends.
+func (g *Generator) Next() (trace.Rec, bool) {
+	if g.pos >= len(g.buf) {
+		g.buildIteration()
+		g.pos = 0
+	}
+	r := g.buf[g.pos]
+	g.pos++
+	return r, true
+}
+
+// nextIntReg cycles through integer registers 1..23 (24..31 are reserved
+// as long-lived sources so dependence chains stay short but non-trivial).
+func (g *Generator) nextIntReg() uint8 {
+	g.intReg = (g.intReg % 23) + 1
+	return g.intReg
+}
+
+func (g *Generator) nextFPReg() uint8 {
+	g.fpReg = (g.fpReg % 23) + 1
+	return g.fpReg
+}
+
+// buildIteration regenerates the loop body for the current iteration.
+func (g *Generator) buildIteration() {
+	p := &g.prof
+	g.buf = g.buf[:0]
+	pc := g.pcBase
+	emit := func(r trace.Rec) {
+		r.PC = pc
+		pc += 4
+		g.buf = append(g.buf, r)
+	}
+
+	// Long-latency prologue: executed only every DivEvery-th (MulEvery-th)
+	// iteration, in its own PC region so every static PC keeps a fixed
+	// opcode even though the block is conditional.
+	if p.DivEvery > 0 && g.iter%uint64(p.DivEvery) == 0 {
+		divPC := g.pcBase - 0x100
+		if p.FP {
+			if g.iter%(2*uint64(p.DivEvery)) == 0 {
+				g.buf = append(g.buf, trace.Rec{PC: divPC, Op: trace.OpFPDiv, Dst: g.nextFPReg(), Src1: g.fpReg, Src2: 25})
+			} else {
+				g.buf = append(g.buf, trace.Rec{PC: divPC + 4, Op: trace.OpFPSqrt, Dst: g.nextFPReg(), Src1: g.fpReg})
+			}
+		} else {
+			g.buf = append(g.buf, trace.Rec{PC: divPC + 8, Op: trace.OpIntDiv, Dst: g.nextIntReg(), Src1: g.intReg, Src2: 25})
+		}
+	}
+	if p.MulEvery > 0 && !p.FP && g.iter%uint64(p.MulEvery) == 0 {
+		g.buf = append(g.buf, trace.Rec{PC: g.pcBase - 0x80, Op: trace.OpIntMul, Dst: g.nextIntReg(), Src1: g.intReg, Src2: 26})
+	}
+
+	// Array accesses, one per array, in lockstep.
+	for _, a := range p.Arrays {
+		addr := a.Base + (g.iter%a.Elems)*a.Stride
+		if a.Store {
+			emit(trace.Rec{Op: trace.OpStore, Addr: addr, Src1: g.intReg | 1, Src2: 0})
+		} else {
+			emit(trace.Rec{Op: trace.OpLoad, Addr: addr, Dst: g.nextIntReg()})
+		}
+	}
+
+	// Random-region loads: hot (resident) with probability HotFrac,
+	// otherwise cold (capacity-missing) in the large region 4 MB above.
+	for i := 0; i < p.RandLoads; i++ {
+		var addr uint64
+		if p.HotFrac > 0 && g.rnd.Bool(p.HotFrac) {
+			hot := p.HotRegion
+			if hot == 0 {
+				hot = 2 * KB
+			}
+			addr = p.RandBase + g.rnd.Uint64()%hot&^7
+		} else {
+			addr = p.RandBase + 4<<20 + g.rnd.Uint64()%p.RandRegion&^7
+		}
+		emit(trace.Rec{Op: trace.OpLoad, Addr: addr, Dst: g.nextIntReg()})
+	}
+
+	// Integer arithmetic: simple ALU ops consuming recent results.  Op
+	// choice is a pure function of the body slot, so PCs are stable.
+	for i := 0; i < p.IntOps; i++ {
+		src1 := g.intReg
+		src2 := uint8(24 + i%8)
+		emit(trace.Rec{Op: trace.OpIntALU, Dst: g.nextIntReg(), Src1: src1, Src2: src2})
+	}
+
+	// FP arithmetic; every MulEvery-th slot is a multiply.  Only every
+	// third op extends the dependence chain — scientific inner loops have
+	// substantial ILP, and a fully serial chain would hide all memory
+	// latency behind the FP units.
+	for i := 0; i < p.FPOps; i++ {
+		op := trace.OpFPALU
+		if p.MulEvery > 0 && i%p.MulEvery == p.MulEvery-1 {
+			op = trace.OpFPMul
+		}
+		src1 := uint8(24 + (i+3)%8)
+		if i%3 == 0 {
+			src1 = g.fpReg
+		}
+		src2 := uint8(24 + i%8)
+		emit(trace.Rec{Op: op, Dst: g.nextFPReg(), Src1: src1, Src2: src2})
+	}
+
+	// Data-dependent branch.
+	emit(trace.Rec{Op: trace.OpBranch, Taken: g.rnd.Bool(p.TakenBias), Src1: g.intReg})
+
+	// Loop back-edge: taken except on inner-loop exit.
+	loopLen := uint64(p.LoopLen)
+	if loopLen == 0 {
+		loopLen = 16
+	}
+	exit := g.iter%loopLen == loopLen-1
+	emit(trace.Rec{Op: trace.OpBranch, Taken: !exit, Src1: g.intReg})
+
+	g.iter++
+}
+
+// Mix summarises the dynamic instruction mix of the first n instructions
+// of a profile's stream; used by tests and documentation.
+type Mix struct {
+	Total, Loads, Stores, Branches, Int, FP int
+}
+
+// SampleMix runs the generator for n instructions and tallies the mix.
+func SampleMix(prof Profile, seed uint64, n int) Mix {
+	g := Stream(prof, seed)
+	var m Mix
+	for i := 0; i < n; i++ {
+		r, ok := g.Next()
+		if !ok {
+			break
+		}
+		m.Total++
+		switch {
+		case r.Op == trace.OpLoad:
+			m.Loads++
+		case r.Op == trace.OpStore:
+			m.Stores++
+		case r.Op == trace.OpBranch:
+			m.Branches++
+		case r.Op.IsFP():
+			m.FP++
+		default:
+			m.Int++
+		}
+	}
+	return m
+}

@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// PointerChaseStream emits the loads of a pointer-chasing walk over a
+// linked list whose nodes are scattered pseudo-randomly through a heap
+// region.  Each hop is a data-dependent load (the next address is the
+// loaded value), the access pattern that defeats both stride prediction
+// and, when the list exceeds the cache, any placement function — a
+// useful worst-case companion to the strided kernels: I-Poly indexing
+// must not *hurt* it.
+type PointerChaseStream struct {
+	nodes []uint64 // node i's byte address; the walk order is a permutation
+	pos   int
+	pc    uint64
+	dep   uint8
+}
+
+// NewPointerChaseStream builds a list of n nodes of the given byte size
+// scattered through [base, base+region), linked in a random permutation.
+func NewPointerChaseStream(base, region uint64, n, nodeSize int, seed uint64) *PointerChaseStream {
+	if n <= 0 || nodeSize <= 0 || region < uint64(n*nodeSize) {
+		panic("workload: bad pointer-chase geometry")
+	}
+	r := rng.New(seed)
+	// Place nodes at distinct slots.
+	slots := int(region) / nodeSize
+	used := make(map[int]bool, n)
+	nodes := make([]uint64, 0, n)
+	for len(nodes) < n {
+		s := r.Intn(slots)
+		if used[s] {
+			continue
+		}
+		used[s] = true
+		nodes = append(nodes, base+uint64(s*nodeSize))
+	}
+	// Random walk order: Fisher-Yates.
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		nodes[i], nodes[j] = nodes[j], nodes[i]
+	}
+	return &PointerChaseStream{nodes: nodes, pc: 0x3000}
+}
+
+// Next implements trace.Stream: an endless cycle over the list, one
+// dependent load per hop.
+func (p *PointerChaseStream) Next() (trace.Rec, bool) {
+	addr := p.nodes[p.pos]
+	p.pos = (p.pos + 1) % len(p.nodes)
+	// Data dependence: each hop's address register is the previous hop's
+	// destination.
+	src := p.dep
+	p.dep = 1 + (p.dep % 8)
+	return trace.Rec{PC: p.pc, Op: trace.OpLoad, Addr: addr, Dst: p.dep, Src1: src}, true
+}
+
+// Len returns the list length.
+func (p *PointerChaseStream) Len() int { return len(p.nodes) }

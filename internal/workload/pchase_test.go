@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/index"
+	"repro/internal/trace"
+)
+
+func TestPointerChaseGeometry(t *testing.T) {
+	p := NewPointerChaseStream(1<<20, 1<<18, 512, 64, 7)
+	if p.Len() != 512 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	seen := make(map[uint64]bool)
+	for i := 0; i < 512; i++ {
+		r, ok := p.Next()
+		if !ok || r.Op != trace.OpLoad {
+			t.Fatal("stream must be endless loads")
+		}
+		if r.Addr < 1<<20 || r.Addr >= 1<<20+1<<18 {
+			t.Fatalf("node outside region: %#x", r.Addr)
+		}
+		if r.Addr%64 != 0 {
+			t.Fatalf("node not slot-aligned: %#x", r.Addr)
+		}
+		if seen[r.Addr] {
+			t.Fatalf("node %#x repeated within one lap", r.Addr)
+		}
+		seen[r.Addr] = true
+	}
+	// Second lap revisits the same nodes in the same order.
+	r, _ := p.Next()
+	if !seen[r.Addr] {
+		t.Error("second lap diverged")
+	}
+}
+
+func TestPointerChaseDeterminism(t *testing.T) {
+	a := NewPointerChaseStream(0, 1<<16, 64, 64, 3)
+	b := NewPointerChaseStream(0, 1<<16, 64, 64, 3)
+	for i := 0; i < 200; i++ {
+		ra, _ := a.Next()
+		rb, _ := b.Next()
+		if ra != rb {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestPointerChaseDependenceChain(t *testing.T) {
+	p := NewPointerChaseStream(0, 1<<16, 64, 64, 5)
+	prev, _ := p.Next()
+	for i := 0; i < 100; i++ {
+		cur, _ := p.Next()
+		if cur.Src1 != prev.Dst {
+			t.Fatalf("hop %d: src %d does not consume previous dst %d", i, cur.Src1, prev.Dst)
+		}
+		prev = cur
+	}
+}
+
+func TestPointerChasePlacementNeutral(t *testing.T) {
+	// A resident list hits everywhere; an oversized list misses at the
+	// same rate under both placements (capacity, not conflict).
+	run := func(place index.Placement, n int) float64 {
+		c := cache.New(cache.Config{
+			Size: 8 << 10, BlockSize: 32, Ways: 2,
+			Placement: place, WriteAllocate: false,
+		})
+		p := NewPointerChaseStream(0, 4<<20, n, 64, 11)
+		for i := 0; i < n*20; i++ {
+			r, _ := p.Next()
+			c.Access(r.Addr, false)
+		}
+		return c.Stats().MissRatio()
+	}
+	big := 2048 // 128 KB of nodes: capacity-bound
+	conv := run(index.NewModulo(7), big)
+	ip := run(index.NewIPolyDefault(2, 7, 19), big)
+	if conv < 0.5 || ip < 0.5 {
+		t.Errorf("oversized chase should thrash both: conv %.2f, ipoly %.2f", conv, ip)
+	}
+	diff := conv - ip
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 0.15 {
+		t.Errorf("placement changed a capacity-bound chase too much: conv %.2f vs ipoly %.2f", conv, ip)
+	}
+	small := 96 // 6 KB of nodes: resident
+	if mr := run(index.NewIPolyDefault(2, 7, 19), small); mr > 0.1 {
+		t.Errorf("resident chase should hit: %.2f", mr)
+	}
+}
+
+func TestPointerChasePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewPointerChaseStream(0, 1<<10, 0, 64, 1) },
+		func() { NewPointerChaseStream(0, 1<<10, 64, 0, 1) },
+		func() { NewPointerChaseStream(0, 100, 64, 64, 1) }, // region too small
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,278 @@
+// Package workload generates the synthetic instruction/address traces
+// that stand in for the paper's Spec95 runs.  Each of the 18 benchmark
+// profiles is parameterised by instruction mix, branch predictability and
+// — crucially — memory access structure: the three "bad" programs
+// (tomcatv, swim, wave5) interleave multiple arrays whose base addresses
+// alias at multiples of the cache way size and/or use large power-of-two
+// strides, exactly the repetitive-conflict patterns of §2; the fifteen
+// "good" programs have working sets dominated by capacity and compulsory
+// behaviour, which placement functions cannot change.
+//
+// The substitution is documented in DESIGN.md: the paper's results depend
+// on the conflict structure of the address streams and coarse instruction
+// mix, both of which these generators reproduce, not on Spec program
+// semantics.
+package workload
+
+// ArrayRef describes one strided array walked by a synthetic program.
+type ArrayRef struct {
+	// Base is the virtual byte address of element 0.
+	Base uint64
+	// Stride is the distance in bytes between consecutively accessed
+	// elements.
+	Stride uint64
+	// Elems is the number of elements walked before wrapping.
+	Elems uint64
+	// Store marks the array as written rather than read.
+	Store bool
+}
+
+// Profile parameterises one synthetic benchmark.
+type Profile struct {
+	// Name is the Spec95 program the profile stands in for.
+	Name string
+	// FP marks a floating-point-dominated program.
+	FP bool
+	// Bad marks the paper's high-conflict programs (tomcatv, swim,
+	// wave5), reported separately in Table 3.
+	Bad bool
+
+	// Arrays are walked in lockstep, one access each per iteration.
+	Arrays []ArrayRef
+	// RandLoads is the number of random loads per iteration.  Each load
+	// targets the small hot region with probability HotFrac (temporal
+	// locality: the hot region stays cache-resident) and the large cold
+	// RandRegion otherwise (capacity misses no placement can fix).
+	RandLoads int
+	// RandRegion is the byte size of the cold random-access heap.
+	RandRegion uint64
+	// RandBase is the base address of the random-access heaps; the cold
+	// region starts 4 MB above it.
+	RandBase uint64
+	// HotFrac is the hot-region probability (0 sends every load cold).
+	HotFrac float64
+	// HotRegion is the hot-region size in bytes (default 2 KB).
+	HotRegion uint64
+
+	// IntOps and FPOps are the arithmetic instructions per iteration.
+	IntOps, FPOps int
+	// MulEvery/DivEvery sprinkle long-latency ops every Nth iteration
+	// (0 disables).
+	MulEvery, DivEvery int
+
+	// TakenBias is the probability the per-iteration data-dependent
+	// branch is taken; values near 0 or 1 predict well, 0.5 predicts
+	// terribly.
+	TakenBias float64
+	// LoopLen is the inner-loop trip count: the back-edge branch is taken
+	// LoopLen-1 times then falls through once.
+	LoopLen int
+}
+
+// way is the paper's L1 way size (8 KB / 2 ways... the aliasing unit for
+// a 2-way 8 KB cache with 128 sets of 32-byte lines is sets*block = 4 KB;
+// bases separated by multiples of the full 8 KB also alias in the 16 KB
+// configuration, which is what the paper's bad programs exhibit).
+const aliasUnit = 8 << 10
+
+// KB is a byte-count helper.
+const KB = 1 << 10
+
+// Suite returns the 18 synthetic Spec95 profiles in the paper's Table 2
+// order (8 integer programs, then 10 floating-point programs).
+func Suite() []Profile {
+	return []Profile{
+		// ---- SPECint95 ----
+		{
+			// go: branch-heavy search code, mid-size working set, poorly
+			// predicted branches.  Paper 8 KB conv load-miss ~10.9 %.
+			Name: "go", IntOps: 6,
+			RandLoads: 2, HotFrac: 0.89, RandRegion: 128 * KB, RandBase: 1 << 24,
+			TakenBias: 0.42, LoopLen: 6,
+		},
+		{
+			// m88ksim: small hot working set, very predictable (~2.6 %).
+			Name: "m88ksim", IntOps: 5,
+			Arrays: []ArrayRef{
+				{Base: 1 << 22, Stride: 4, Elems: 512},
+				// Deliberately NOT a multiple of the 8 KB aliasing unit.
+				{Base: 1<<22 + 65*KB, Stride: 8, Elems: 256, Store: true},
+			},
+			RandLoads: 1, HotFrac: 0.93, RandRegion: 128 * KB, RandBase: 1<<23 + 5*KB,
+			TakenBias: 0.95, LoopLen: 32,
+		},
+		{
+			// gcc: large instruction footprint, scattered data (~10 %).
+			Name: "gcc", IntOps: 5,
+			RandLoads: 2, HotFrac: 0.90, RandRegion: 192 * KB, RandBase: 1 << 24,
+			Arrays:    []ArrayRef{{Base: 1 << 22, Stride: 16, Elems: 256, Store: true}},
+			TakenBias: 0.75, LoopLen: 8,
+		},
+		{
+			// compress: hash-table dominated; capacity misses in a large
+			// region that no placement function can fix (~13.6 %).
+			Name: "compress", IntOps: 4,
+			RandLoads: 2, HotFrac: 0.81, RandRegion: 400 * KB, RandBase: 1 << 24,
+			Arrays:    []ArrayRef{{Base: 1 << 22, Stride: 1, Elems: 65536}},
+			TakenBias: 0.85, LoopLen: 16,
+		},
+		{
+			// li: pointer-chasing interpreter, mid-size heap (~8 %).
+			Name: "li", IntOps: 5,
+			RandLoads: 2, HotFrac: 0.92, RandRegion: 128 * KB, RandBase: 1 << 24,
+			TakenBias: 0.80, LoopLen: 8,
+		},
+		{
+			// ijpeg: streaming image kernels, near-perfect locality (~3.7 %).
+			Name: "ijpeg", IntOps: 7, MulEvery: 4,
+			Arrays: []ArrayRef{
+				{Base: 1 << 22, Stride: 4, Elems: 1 << 18},
+				{Base: 1 << 25, Stride: 4, Elems: 1 << 18, Store: true},
+			},
+			RandLoads: 2, HotFrac: 1.0, RandRegion: 64 * KB, RandBase: 1 << 26,
+			TakenBias: 0.97, LoopLen: 64,
+		},
+		{
+			// perl: interpreter dispatch, scattered small objects (~9.5 %).
+			Name: "perl", IntOps: 5,
+			RandLoads: 2, HotFrac: 0.90, RandRegion: 160 * KB, RandBase: 1 << 24,
+			TakenBias: 0.70, LoopLen: 8,
+		},
+		{
+			// vortex: object database, mixed locality (~8.4 %).
+			Name: "vortex", IntOps: 5,
+			RandLoads: 2, HotFrac: 0.92, RandRegion: 128 * KB, RandBase: 1 << 24,
+			Arrays:    []ArrayRef{{Base: 1 << 22, Stride: 8, Elems: 1024, Store: true}},
+			TakenBias: 0.88, LoopLen: 16,
+		},
+
+		// ---- SPECfp95 ----
+		{
+			// tomcatv: BAD (~54 % conv / ~20 % I-Poly).  Seven mesh arrays
+			// whose bases alias at the 8 KB unit, walked sequentially in
+			// lockstep: repetitive cross-array conflicts conventionally,
+			// pure capacity behaviour under I-Poly; a resident scalar
+			// working set dilutes the array misses to the paper's level.
+			Name: "tomcatv", FP: true, Bad: true,
+			Arrays:    badArrays(7, 8, 2048, 1),
+			RandLoads: 5, HotFrac: 1.0, RandRegion: 64 * KB, RandBase: 1 << 27,
+			FPOps: 5, DivEvery: 64,
+			TakenBias: 0.96, LoopLen: 128,
+		},
+		{
+			// swim: BAD (~67 % conv / ~9 % I-Poly).  Column-order walks of
+			// power-of-two-pitched grids: a 1 KB stride touches only a
+			// handful of sets conventionally but the 96-block columns fit
+			// easily once spread by the polynomial hash.
+			Name: "swim", FP: true, Bad: true,
+			Arrays: []ArrayRef{
+				{Base: 1 << 24, Stride: 1024, Elems: 96},
+				{Base: 1<<24 + aliasUnit, Stride: 1024, Elems: 96},
+				{Base: 1<<24 + 2*aliasUnit, Stride: 1024, Elems: 96, Store: true},
+			},
+			RandLoads: 1, HotFrac: 0.80, RandRegion: 256 * KB, RandBase: 1 << 27,
+			FPOps:     5,
+			TakenBias: 0.97, LoopLen: 96,
+		},
+		{
+			// su2cor: large lattice, capacity-dominated (~14.7 %).
+			Name: "su2cor", FP: true, FPOps: 4, MulEvery: 2,
+			RandLoads: 2, HotFrac: 0.85, RandRegion: 420 * KB, RandBase: 1 << 24,
+			TakenBias: 0.92, LoopLen: 32,
+		},
+		{
+			// hydro2d: large grids, streaming with some reuse (~17.2 %).
+			Name: "hydro2d", FP: true, FPOps: 4,
+			RandLoads: 2, HotFrac: 0.87, RandRegion: 512 * KB, RandBase: 1 << 24,
+			Arrays:    []ArrayRef{{Base: 1 << 22, Stride: 8, Elems: 8192}},
+			TakenBias: 0.93, LoopLen: 32,
+		},
+		{
+			// applu: blocked solver, decent locality (~6.2 %).
+			Name: "applu", FP: true, FPOps: 5, MulEvery: 2, DivEvery: 128,
+			Arrays: []ArrayRef{
+				{Base: 1 << 22, Stride: 8, Elems: 512},
+				{Base: 1<<25 + 2*KB, Stride: 8, Elems: 512, Store: true},
+			},
+			RandLoads: 1, HotFrac: 0.90, RandRegion: 128 * KB, RandBase: 1 << 26,
+			TakenBias: 0.95, LoopLen: 64,
+		},
+		{
+			// mgrid: multigrid sweeps, strong spatial locality (~5 %).
+			Name: "mgrid", FP: true, FPOps: 6, MulEvery: 3,
+			Arrays: []ArrayRef{
+				{Base: 1 << 22, Stride: 8, Elems: 256},
+				{Base: 1 << 25, Stride: 8, Elems: 256, Store: true},
+			},
+			RandLoads: 1, HotFrac: 0.90, RandRegion: 128 * KB, RandBase: 1 << 26,
+			TakenBias: 0.97, LoopLen: 128,
+		},
+		{
+			// turb3d: FFT-ish, mostly resident working set (~6 %).
+			Name: "turb3d", FP: true, FPOps: 6, MulEvery: 2,
+			Arrays: []ArrayRef{
+				{Base: 1 << 22, Stride: 8, Elems: 384},
+				{Base: 1<<25 + 1*KB, Stride: 8, Elems: 384, Store: true},
+			},
+			RandLoads: 1, HotFrac: 0.88, RandRegion: 128 * KB, RandBase: 1 << 26,
+			TakenBias: 0.96, LoopLen: 64,
+		},
+		{
+			// apsi: mesoscale model, mixed stride and scatter (~15.2 %).
+			Name: "apsi", FP: true, FPOps: 4,
+			RandLoads: 2, HotFrac: 0.90, RandRegion: 448 * KB, RandBase: 1 << 24,
+			Arrays:    []ArrayRef{{Base: 1 << 22, Stride: 8, Elems: 4096}},
+			TakenBias: 0.90, LoopLen: 32,
+		},
+		{
+			// fpppp: enormous basic blocks of FP arithmetic, tiny data
+			// set: the IPC champion (~2.7 %).
+			Name: "fpppp", FP: true, FPOps: 12, MulEvery: 2,
+			Arrays: []ArrayRef{
+				{Base: 1 << 22, Stride: 8, Elems: 256},
+				{Base: 1<<22 + 16*KB, Stride: 8, Elems: 256, Store: true},
+			},
+			RandLoads: 1, HotFrac: 0.95, RandRegion: 128 * KB, RandBase: 1 << 26,
+			TakenBias: 0.99, LoopLen: 256,
+		},
+		{
+			// wave5: BAD (~43 % conv / ~15 % I-Poly).  Particle-in-cell:
+			// power-of-two grid pitches with aliasing bases plus a
+			// scattered particle component.
+			Name: "wave5", FP: true, Bad: true,
+			Arrays:    badArrays(4, 512, 48, 1),
+			RandLoads: 5, HotFrac: 0.80, RandRegion: 192 * KB, RandBase: 1 << 27,
+			FPOps:     4,
+			TakenBias: 0.94, LoopLen: 64,
+		},
+	}
+}
+
+// badArrays builds n lockstep arrays whose bases are separated by
+// baseGap*aliasUnit bytes (so they collide on the same cache sets under
+// modulo placement) with the given element stride and count.
+func badArrays(n int, stride, elems uint64, baseGap uint64) []ArrayRef {
+	arrays := make([]ArrayRef, n)
+	for i := range arrays {
+		arrays[i] = ArrayRef{
+			Base:   1<<24 + uint64(i)*baseGap*aliasUnit,
+			Stride: stride,
+			Elems:  elems,
+			Store:  i == n-1, // last array is written
+		}
+	}
+	return arrays
+}
+
+// ByName returns the profile with the given name.
+func ByName(name string) (Profile, bool) {
+	for _, p := range Suite() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// BadPrograms returns the names of the high-conflict programs of Table 3.
+func BadPrograms() []string { return []string{"tomcatv", "swim", "wave5"} }
