@@ -1,0 +1,31 @@
+# Local mirror of .github/workflows/ci.yml: `make ci` runs exactly what
+# the pipeline runs.
+
+GO ?= go
+
+.PHONY: build test race bench bench-smoke lint ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/runner/... ./internal/cli/... ./internal/experiments/...
+
+# Full benchmark sweep (minutes).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# The CI smoke run: one iteration of the runner benchmark.
+bench-smoke:
+	$(GO) test -run '^$$' -bench BenchmarkRunner -benchtime 1x .
+
+lint:
+	$(GO) vet ./...
+	@diff=$$(gofmt -l .); if [ -n "$$diff" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$diff" >&2; exit 1; \
+	fi
+
+ci: build lint test race bench-smoke

@@ -9,6 +9,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -30,6 +31,30 @@ func benchOpts() experiments.Options {
 // ---------------------------------------------------------------------------
 // Experiment regeneration benches (one per paper artifact)
 // ---------------------------------------------------------------------------
+
+// BenchmarkRunnerParallel measures the parallel sweep engine against
+// the retained serial Figure-1 driver: the acceptance bar is >= 2x
+// wall-clock speedup at 4 workers on the stride sweep (results are
+// bit-identical at every worker count; see the experiments package's
+// determinism tests).
+func BenchmarkRunnerParallel(b *testing.B) {
+	o := benchOpts()
+	o.MaxStride = 4096 // the full sweep, so there is real work to split
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			experiments.RunFig1Serial(o)
+		}
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			oo := o
+			oo.Workers = workers
+			for i := 0; i < b.N; i++ {
+				experiments.RunFig1(oo)
+			}
+		})
+	}
+}
 
 // BenchmarkFigure1 regenerates the Figure 1 stride sweep.
 func BenchmarkFigure1(b *testing.B) {

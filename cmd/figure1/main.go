@@ -1,20 +1,15 @@
-// Command figure1 regenerates the paper's Figure 1: the frequency
-// distribution of miss ratios over element strides 1..4095 for the four
-// indexing schemes (a2, a2-Hx-Sk, a2-Hp, a2-Hp-Sk) on an 8 KB 2-way
-// cache with 32-byte lines.
+// Command figure1 is a deprecated shim: it delegates to `repro fig1`,
+// the single code path CI exercises.
 package main
 
 import (
-	"flag"
 	"fmt"
+	"os"
 
-	"repro/internal/experiments"
+	"repro/internal/cli"
 )
 
 func main() {
-	maxStride := flag.Int("maxstride", 4096, "sweep element strides 1..maxstride-1")
-	rounds := flag.Int("rounds", 17, "vector walk rounds per stride (first is warm-up)")
-	flag.Parse()
-	res := experiments.RunFig1(experiments.Options{MaxStride: *maxStride, Fig1Rounds: *rounds})
-	fmt.Println(res.Render())
+	fmt.Fprintln(os.Stderr, "figure1 is deprecated; use: repro fig1")
+	os.Exit(cli.Main(append([]string{"fig1"}, os.Args[1:]...)))
 }

@@ -1,60 +1,15 @@
-// Command gates is the hardware-design view of I-Poly indexing: it
-// enumerates the irreducible modulus polynomials for a given cache
-// geometry, audits the XOR-gate fan-in of each (the paper keeps every
-// gate at fan-in <= 5, §3.4), recommends the minimum-fan-in choice, and
-// prints the full gate network for the selected polynomial.
+// Command gates is a deprecated shim: it delegates to `repro gates`,
+// the single code path CI exercises.
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 
-	"repro/internal/gf2"
+	"repro/internal/cli"
 )
 
 func main() {
-	indexBits := flag.Int("indexbits", 7, "cache index bits (degree of P)")
-	addrBits := flag.Int("addrbits", 19, "address bits feeding the hash")
-	blockBits := flag.Int("blockbits", 5, "block offset bits (excluded from the hash)")
-	show := flag.Int("show", 1, "print gate networks for the N best polynomials")
-	flag.Parse()
-
-	in := *addrBits - *blockBits
-	if in <= *indexBits {
-		fmt.Fprintf(os.Stderr, "gates: %d address bits leave %d hash inputs; need more than %d\n",
-			*addrBits, in, *indexBits)
-		os.Exit(2)
-	}
-
-	fmt.Printf("I-Poly index hardware audit: %d index bits, %d hash inputs (address bits %d..%d)\n\n",
-		*indexBits, in, *blockBits, *addrBits-1)
-
-	polys, fans := gf2.FanInTable(*indexBits, in)
-	fmt.Printf("%-28s %10s %12s %10s\n", "polynomial", "max fan-in", "gate inputs", "primitive")
-	bestIdx := 0
-	for i, p := range polys {
-		fmt.Printf("%-28s %10d %12d %10v\n",
-			p, fans[i], gf2.TotalGateInputs(p, in), gf2.Primitive(p))
-		if fans[i] < fans[bestIdx] {
-			bestIdx = i
-		}
-	}
-
-	best, fan := gf2.MinFanInIrreducible(*indexBits, in)
-	fmt.Printf("\nRecommended modulus: %v (max fan-in %d", best, fan)
-	if fan <= 5 {
-		fmt.Printf(" — within the paper's 5-input budget)\n")
-	} else {
-		fmt.Printf(" — exceeds the paper's 5-input budget; consider fewer address bits)\n")
-	}
-
-	shown := 0
-	for i, p := range polys {
-		if fans[i] != fan || shown >= *show {
-			continue
-		}
-		fmt.Printf("\nGate network for P(x) = %v:\n%s", p, gf2.NewModMatrix(p, in).GateDescription())
-		shown++
-	}
+	fmt.Fprintln(os.Stderr, "gates is deprecated; use: repro gates")
+	os.Exit(cli.Main(append([]string{"gates"}, os.Args[1:]...)))
 }

@@ -1,20 +1,15 @@
-// Command holes reproduces the §3.3 inclusion-hole study: the analytical
-// probability P_H = (2^m1 - 1)/2^m2 that an L2 miss creates a hole at L1,
-// validated against simulation across L2 sizes, plus the benchmark-suite
-// hole rates on the paper's two-level virtual-real hierarchy.
+// Command holes is a deprecated shim: it delegates to `repro holes`,
+// the single code path CI exercises.
 package main
 
 import (
-	"flag"
 	"fmt"
+	"os"
 
-	"repro/internal/experiments"
+	"repro/internal/cli"
 )
 
 func main() {
-	instrs := flag.Uint64("instructions", 200_000, "memory accesses scale factor")
-	seed := flag.Uint64("seed", 1997, "workload seed")
-	flag.Parse()
-	res := experiments.RunHoles(experiments.Options{Instructions: *instrs, Seed: *seed})
-	fmt.Println(res.Render())
+	fmt.Fprintln(os.Stderr, "holes is deprecated; use: repro holes")
+	os.Exit(cli.Main(append([]string{"holes"}, os.Args[1:]...)))
 }

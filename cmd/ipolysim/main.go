@@ -1,134 +1,40 @@
-// Command ipolysim runs the reproduction experiments for "The Design and
-// Performance of a Conflict-avoiding Cache" (MICRO-30, 1997).
-//
-// Usage:
-//
-//	ipolysim -experiment <name> [-instructions N] [-seed S] [-maxstride M] [-json]
-//
-// Experiments: fig1, table2, table3, holes, missratio, stddev, colassoc,
-// options31, sweep, threec, interleave, ablate — or 'all'.
+// Command ipolysim is a deprecated shim over the unified `repro` CLI:
+// it translates the old `-experiment <name>` flag into the matching
+// `repro <name>` subcommand so existing scripts keep working while CI
+// exercises a single code path.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
-	"time"
+	"strconv"
 
-	"repro/internal/experiments"
+	"repro/internal/cli"
 )
 
-// runner names an experiment and its driver.  run renders text; raw
-// returns the structured result for -json output.
-type runner struct {
-	name string
-	desc string
-	run  func(experiments.Options) string
-	raw  func(experiments.Options) any
-}
-
-func runners() []runner {
-	return []runner{
-		{"fig1", "Figure 1: miss-ratio distribution across strides, 4 index schemes",
-			func(o experiments.Options) string { return experiments.RunFig1(o).Render() },
-			func(o experiments.Options) any { return experiments.RunFig1(o) }},
-		{"table2", "Table 2: IPC & load miss ratio, 18 benchmarks x 6 configurations",
-			func(o experiments.Options) string { return experiments.RunTable2(o).Render() },
-			func(o experiments.Options) any { return experiments.RunTable2(o) }},
-		{"table3", "Table 3: high-conflict programs and bad/good averages",
-			func(o experiments.Options) string { return experiments.RunTable3(o).Render() },
-			func(o experiments.Options) any { return experiments.RunTable3(o) }},
-		{"holes", "§3.3: hole probability model vs simulation",
-			func(o experiments.Options) string { return experiments.RunHoles(o).Render() },
-			func(o experiments.Options) any { return experiments.RunHoles(o) }},
-		{"missratio", "§2.1: cache organization comparison (I-Poly vs alternatives)",
-			func(o experiments.Options) string { return experiments.RunOrgs(o).Render() },
-			func(o experiments.Options) any { return experiments.RunOrgs(o) }},
-		{"stddev", "§5: miss-ratio predictability (stddev across the suite)",
-			func(o experiments.Options) string { return experiments.RunStdDev(o).Render() },
-			func(o experiments.Options) any { return experiments.RunStdDev(o) }},
-		{"colassoc", "§3.1 option 4: column-associative polynomial rehash",
-			func(o experiments.Options) string { return experiments.RunColAssoc(o).Render() },
-			func(o experiments.Options) any { return experiments.RunColAssoc(o) }},
-		{"options31", "§3.1: the four routes around minimum-page-size limits",
-			func(o experiments.Options) string { return experiments.RunOptions31(o).Render() },
-			func(o experiments.Options) any { return experiments.RunOptions31(o) }},
-		{"sweep", "design-space sweep: size x ways x scheme miss-ratio grid",
-			func(o experiments.Options) string { return experiments.RunSweep(o).Render() },
-			func(o experiments.Options) any { return experiments.RunSweep(o) }},
-		{"threec", "3C miss classification per benchmark, conventional vs I-Poly",
-			func(o experiments.Options) string { return experiments.RunThreeC(o).Render() },
-			func(o experiments.Options) any { return experiments.RunThreeC(o) }},
-		{"interleave", "§2.1 lineage: interleaved-memory bank selectors, bandwidth vs stride",
-			func(o experiments.Options) string { return experiments.RunInterleave(o).Render() },
-			func(o experiments.Options) any { return experiments.RunInterleave(o) }},
-		{"ablate", "design-choice ablations (polynomial, skew, bits, replacement, MSHRs, predictor, L2)",
-			func(o experiments.Options) string { return experiments.RunAblate(o).Render() },
-			func(o experiments.Options) any { return experiments.RunAblate(o) }},
-	}
-}
-
 func main() {
-	var (
-		name   = flag.String("experiment", "", "experiment to run (or 'all'); empty lists experiments")
-		instrs = flag.Uint64("instructions", 0, "instructions per benchmark per configuration (0 = default)")
-		seed   = flag.Uint64("seed", 0, "workload seed (0 = default)")
-		stride = flag.Int("maxstride", 0, "figure 1 stride sweep bound (0 = default 4096)")
-		rounds = flag.Int("rounds", 0, "figure 1 walk rounds per stride (0 = default)")
-		asJSON = flag.Bool("json", false, "emit structured JSON instead of rendered text")
-	)
-	flag.Parse()
+	fs := flag.NewFlagSet("ipolysim", flag.ExitOnError)
+	name := fs.String("experiment", "", "experiment to run (or 'all'); empty lists experiments")
+	instrs := fs.Uint64("instructions", 0, "instructions per benchmark per configuration (0 = default)")
+	seed := fs.Uint64("seed", 0, "workload seed (0 = default)")
+	stride := fs.Int("maxstride", 0, "figure 1 stride sweep bound (0 = default 4096)")
+	rounds := fs.Int("rounds", 0, "figure 1 walk rounds per stride (0 = default)")
+	asJSON := fs.Bool("json", false, "emit structured JSON instead of rendered text")
+	fs.Parse(os.Args[1:])
 
-	opts := experiments.Options{
-		Instructions: *instrs,
-		Seed:         *seed,
-		MaxStride:    *stride,
-		Fig1Rounds:   *rounds,
-	}
-
-	rs := runners()
-	sort.Slice(rs, func(i, j int) bool { return rs[i].name < rs[j].name })
-
+	fmt.Fprintln(os.Stderr, "ipolysim is deprecated; use: repro <experiment>")
 	if *name == "" {
-		fmt.Println("ipolysim: reproduction harness for the conflict-avoiding cache (MICRO-30 1997)")
-		fmt.Println("\nExperiments:")
-		for _, r := range rs {
-			fmt.Printf("  %-10s %s\n", r.name, r.desc)
-		}
-		fmt.Println("\nRun one with: ipolysim -experiment <name>   (or 'all')")
-		return
+		os.Exit(cli.Main([]string{"list"}))
 	}
-
-	run := func(r runner) {
-		if *asJSON {
-			enc := json.NewEncoder(os.Stdout)
-			enc.SetIndent("", "  ")
-			if err := enc.Encode(map[string]any{r.name: r.raw(opts)}); err != nil {
-				fmt.Fprintf(os.Stderr, "ipolysim: %v\n", err)
-				os.Exit(1)
-			}
-			return
-		}
-		start := time.Now()
-		fmt.Printf("=== %s ===\n", r.name)
-		fmt.Println(r.run(opts))
-		fmt.Printf("[%s completed in %v]\n\n", r.name, time.Since(start).Round(time.Millisecond))
+	args := []string{*name,
+		"-instructions", strconv.FormatUint(*instrs, 10),
+		"-seed", strconv.FormatUint(*seed, 10),
+		"-maxstride", strconv.Itoa(*stride),
+		"-rounds", strconv.Itoa(*rounds),
 	}
-
-	if *name == "all" {
-		for _, r := range rs {
-			run(r)
-		}
-		return
+	if *asJSON {
+		args = append(args, "-json")
 	}
-	for _, r := range rs {
-		if r.name == *name {
-			run(r)
-			return
-		}
-	}
-	fmt.Fprintf(os.Stderr, "ipolysim: unknown experiment %q\n", *name)
-	os.Exit(2)
+	os.Exit(cli.Main(args))
 }

@@ -1,0 +1,23 @@
+// Command repro is the unified experiment runner for "The Design and
+// Performance of a Conflict-avoiding Cache" (MICRO-30, 1997): one
+// subcommand per paper table/figure/study, executed on a deterministic
+// parallel sweep engine, plus the trace and hardware-audit tools.
+//
+// Usage:
+//
+//	repro <experiment> [-instructions N] [-seed S] [-workers W] [-json]
+//	repro all [flags]
+//	repro list
+//
+// Run `repro help` for the full subcommand table.
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Main(os.Args[1:]))
+}

@@ -1,54 +1,15 @@
-// Command stridescan is an analysis tool for a single stride: it walks
-// the Figure 1 vector kernel at one stride through all four indexing
-// schemes and prints per-scheme miss ratios and the set-occupancy
-// footprint, so a pathological stride can be dissected in detail.
+// Command stridescan is a deprecated shim: it delegates to `repro stridescan`,
+// the single code path CI exercises.
 package main
 
 import (
-	"flag"
 	"fmt"
+	"os"
 
-	"repro/internal/cache"
-	"repro/internal/index"
-	"repro/internal/workload"
+	"repro/internal/cli"
 )
 
 func main() {
-	stride := flag.Uint64("stride", 1024, "element stride (8-byte elements)")
-	elems := flag.Int("elems", 64, "vector length in elements")
-	rounds := flag.Int("rounds", 17, "walk rounds (first is warm-up)")
-	flag.Parse()
-
-	fmt.Printf("stride %d elements (%d bytes), %d-element vector, %d rounds\n\n",
-		*stride, *stride*8, *elems, *rounds)
-	fmt.Printf("%-10s %10s %14s\n", "scheme", "miss%", "distinct sets")
-
-	for _, scheme := range index.AllSchemes() {
-		place := index.MustNew(scheme, 7, 2, 17)
-		c := cache.New(cache.Config{
-			Size: 8 << 10, BlockSize: 32, Ways: 2,
-			Placement: place, WriteAllocate: false,
-		})
-		ss := workload.NewStrideStream(0, *stride*8, *elems, *rounds)
-		sets := make(map[uint64]struct{})
-		warm := *elems
-		for {
-			r, ok := ss.Next()
-			if !ok {
-				break
-			}
-			if warm > 0 {
-				warm--
-				c.Access(r.Addr, false)
-				if warm == 0 {
-					c.ResetStats()
-				}
-				continue
-			}
-			sets[place.SetIndex(r.Addr>>5, 0)] = struct{}{}
-			c.Access(r.Addr, false)
-		}
-		fmt.Printf("%-10s %9.2f%% %14d\n",
-			scheme, 100*c.Stats().MissRatio(), len(sets))
-	}
+	fmt.Fprintln(os.Stderr, "stridescan is deprecated; use: repro stridescan")
+	os.Exit(cli.Main(append([]string{"stridescan"}, os.Args[1:]...)))
 }

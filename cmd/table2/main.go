@@ -1,21 +1,15 @@
-// Command table2 regenerates the paper's Table 2: IPC and load miss
-// ratio for the 18-benchmark suite across the six processor/cache
-// configurations (16 KB and 8 KB conventional, with and without address
-// prediction; 8 KB skewed I-Poly with the XOR gates off/on the critical
-// path, with and without prediction).
+// Command table2 is a deprecated shim: it delegates to `repro table2`,
+// the single code path CI exercises.
 package main
 
 import (
-	"flag"
 	"fmt"
+	"os"
 
-	"repro/internal/experiments"
+	"repro/internal/cli"
 )
 
 func main() {
-	instrs := flag.Uint64("instructions", 200_000, "instructions per benchmark per configuration")
-	seed := flag.Uint64("seed", 1997, "workload seed")
-	flag.Parse()
-	res := experiments.RunTable2(experiments.Options{Instructions: *instrs, Seed: *seed})
-	fmt.Println(res.Render())
+	fmt.Fprintln(os.Stderr, "table2 is deprecated; use: repro table2")
+	os.Exit(cli.Main(append([]string{"table2"}, os.Args[1:]...)))
 }

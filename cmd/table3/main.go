@@ -1,19 +1,15 @@
-// Command table3 regenerates the paper's Table 3: the three
-// high-conflict programs (tomcatv, swim, wave5) plus the bad/good
-// average rows derived from the Table 2 simulations.
+// Command table3 is a deprecated shim: it delegates to `repro table3`,
+// the single code path CI exercises.
 package main
 
 import (
-	"flag"
 	"fmt"
+	"os"
 
-	"repro/internal/experiments"
+	"repro/internal/cli"
 )
 
 func main() {
-	instrs := flag.Uint64("instructions", 200_000, "instructions per benchmark per configuration")
-	seed := flag.Uint64("seed", 1997, "workload seed")
-	flag.Parse()
-	res := experiments.RunTable3(experiments.Options{Instructions: *instrs, Seed: *seed})
-	fmt.Println(res.Render())
+	fmt.Fprintln(os.Stderr, "table3 is deprecated; use: repro table3")
+	os.Exit(cli.Main(append([]string{"table3"}, os.Args[1:]...)))
 }

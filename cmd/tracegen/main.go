@@ -1,80 +1,15 @@
-// Command tracegen writes a synthetic benchmark trace to a file in the
-// repository's binary trace format (or human-readable text), so traces
-// can be archived, diffed, or replayed by cmd/tracesim and external
-// tools.
+// Command tracegen is a deprecated shim: it delegates to `repro tracegen`,
+// the single code path CI exercises.
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 
-	"repro/internal/trace"
-	"repro/internal/workload"
+	"repro/internal/cli"
 )
 
 func main() {
-	bench := flag.String("bench", "tomcatv", "benchmark profile name (see workload.Suite)")
-	n := flag.Int("n", 100_000, "instructions to emit")
-	seed := flag.Uint64("seed", 1997, "generator seed")
-	out := flag.String("o", "", "output file (default <bench>.trace)")
-	text := flag.Bool("text", false, "write text format instead of binary")
-	memOnly := flag.Bool("mem", false, "emit only loads and stores")
-	flag.Parse()
-
-	prof, ok := workload.ByName(*bench)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "tracegen: unknown benchmark %q; known:\n", *bench)
-		for _, p := range workload.Suite() {
-			fmt.Fprintf(os.Stderr, "  %s\n", p.Name)
-		}
-		os.Exit(2)
-	}
-	path := *out
-	if path == "" {
-		path = prof.Name + ".trace"
-		if *text {
-			path = prof.Name + ".trace.txt"
-		}
-	}
-
-	var s trace.Stream = &trace.Limit{S: workload.Stream(prof, *seed), N: *n}
-	if *memOnly {
-		s = &trace.Limit{S: &trace.MemOnly{S: workload.Stream(prof, *seed)}, N: *n}
-	}
-
-	f, err := os.Create(path)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-		os.Exit(1)
-	}
-	defer f.Close()
-
-	count := 0
-	if *text {
-		recs := trace.Collect(s, 0)
-		if err := trace.WriteText(f, recs); err != nil {
-			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-			os.Exit(1)
-		}
-		count = len(recs)
-	} else {
-		w := trace.NewWriter(f)
-		for {
-			r, ok := s.Next()
-			if !ok {
-				break
-			}
-			if err := w.Write(r); err != nil {
-				fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-				os.Exit(1)
-			}
-			count++
-		}
-		if err := w.Flush(); err != nil {
-			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-			os.Exit(1)
-		}
-	}
-	fmt.Printf("wrote %d records of %s to %s\n", count, prof.Name, path)
+	fmt.Fprintln(os.Stderr, "tracegen is deprecated; use: repro tracegen")
+	os.Exit(cli.Main(append([]string{"tracegen"}, os.Args[1:]...)))
 }

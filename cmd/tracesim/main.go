@@ -1,88 +1,15 @@
-// Command tracesim replays a binary trace file (produced by
-// cmd/tracegen or any tool emitting the same format) through a cache
-// configuration and reports hit/miss statistics with a 3C miss
-// breakdown — the trace-driven half of the paper's methodology.
+// Command tracesim is a deprecated shim: it delegates to `repro tracesim`,
+// the single code path CI exercises.
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 
-	"repro/internal/cache"
-	"repro/internal/index"
-	"repro/internal/trace"
+	"repro/internal/cli"
 )
 
 func main() {
-	path := flag.String("trace", "", "binary trace file (required)")
-	size := flag.Int("size", 8<<10, "cache size in bytes")
-	block := flag.Int("block", 32, "block size in bytes")
-	ways := flag.Int("ways", 2, "associativity")
-	scheme := flag.String("scheme", "a2-Hp-Sk", "index scheme: a2, a2-Hx, a2-Hx-Sk, a2-Hp, a2-Hp-Sk")
-	addrBits := flag.Int("addrbits", 19, "address bits feeding hash schemes")
-	flag.Parse()
-
-	if *path == "" {
-		flag.Usage()
-		os.Exit(2)
-	}
-
-	sets := *size / *block / *ways
-	setBits := 0
-	for s := sets; s > 1; s >>= 1 {
-		setBits++
-	}
-	blockBits := 0
-	for b := *block; b > 1; b >>= 1 {
-		blockBits++
-	}
-	place, err := index.New(index.Scheme(*scheme), setBits, *ways, *addrBits-blockBits)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "tracesim: %v\n", err)
-		os.Exit(2)
-	}
-	c := cache.New(cache.Config{
-		Size: *size, BlockSize: *block, Ways: *ways,
-		Placement: place, WriteAllocate: false,
-	})
-	cl := cache.NewClassifier(*size / *block)
-
-	f, err := os.Open(*path)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "tracesim: %v\n", err)
-		os.Exit(1)
-	}
-	defer f.Close()
-
-	r := trace.NewReader(f)
-	n := 0
-	for {
-		rec, ok := r.Next()
-		if !ok {
-			break
-		}
-		if !rec.Op.IsMem() {
-			continue
-		}
-		res := c.Access(rec.Addr, rec.Op == trace.OpStore)
-		cl.Observe(c.Block(rec.Addr), !res.Hit)
-		n++
-	}
-	if err := r.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "tracesim: %v\n", err)
-		os.Exit(1)
-	}
-
-	s := c.Stats()
-	brk := cl.Breakdown()
-	fmt.Printf("trace: %s  (%d memory references)\n", *path, n)
-	fmt.Printf("cache: %dB, %d-way, %dB lines, scheme %s (%d sets)\n",
-		*size, *ways, *block, place.Name(), place.Sets())
-	fmt.Printf("\naccesses  %10d\nhits      %10d\nmisses    %10d  (%.2f%%)\n",
-		s.Accesses, s.Hits, s.Misses, 100*s.MissRatio())
-	fmt.Printf("load miss ratio: %.2f%%\n", 100*s.ReadMissRatio())
-	fmt.Printf("\n3C breakdown of %d classified misses:\n", brk.Total())
-	fmt.Printf("  compulsory %10d\n  capacity   %10d\n  conflict   %10d\n",
-		brk.Compulsory, brk.Capacity, brk.Conflict)
+	fmt.Fprintln(os.Stderr, "tracesim is deprecated; use: repro tracesim")
+	os.Exit(cli.Main(append([]string{"tracesim"}, os.Args[1:]...)))
 }

@@ -1,0 +1,217 @@
+// Package cli implements the unified `repro` command line: one
+// subcommand per paper table/figure/study, all backed by the parallel
+// sweep engine in internal/runner, plus the trace and hardware-audit
+// tools that used to be standalone binaries.  Every legacy cmd/*
+// binary is now a thin shim over this package, so CI exercises a
+// single code path.
+package cli
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// experiment binds a subcommand name to its driver.
+type experiment struct {
+	name string
+	desc string
+	// render produces the human-readable tables/histograms.
+	render func(context.Context, experiments.Options) (string, error)
+	// raw produces the structured result for -json output.
+	raw func(context.Context, experiments.Options) (any, error)
+}
+
+// exp adapts a typed RunXCtx driver into an experiment entry.
+func exp[T interface{ Render() string }](name, desc string, run func(context.Context, experiments.Options) (T, error)) experiment {
+	return experiment{
+		name: name,
+		desc: desc,
+		render: func(ctx context.Context, o experiments.Options) (string, error) {
+			r, err := run(ctx, o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		},
+		raw: func(ctx context.Context, o experiments.Options) (any, error) {
+			r, err := run(ctx, o)
+			return r, err
+		},
+	}
+}
+
+// experimentList returns every experiment subcommand in name order.
+func experimentList() []experiment {
+	exps := []experiment{
+		exp("fig1", "Figure 1: miss-ratio distribution across strides, 4 index schemes", experiments.RunFig1Ctx),
+		exp("table2", "Table 2: IPC & load miss ratio, 18 benchmarks x 6 configurations", experiments.RunTable2Ctx),
+		exp("table3", "Table 3: high-conflict programs and bad/good averages", experiments.RunTable3Ctx),
+		exp("holes", "§3.3: hole probability model vs simulation", experiments.RunHolesCtx),
+		exp("missratio", "§2.1: cache organization comparison (I-Poly vs alternatives)", experiments.RunOrgsCtx),
+		exp("stddev", "§5: miss-ratio predictability (stddev across the suite)", experiments.RunStdDevCtx),
+		exp("colassoc", "§3.1 option 4: column-associative polynomial rehash", experiments.RunColAssocCtx),
+		exp("options31", "§3.1: the four routes around minimum-page-size limits", experiments.RunOptions31Ctx),
+		exp("sweep", "design-space sweep: size x ways x scheme miss-ratio grid", experiments.RunSweepCtx),
+		exp("threec", "3C miss classification per benchmark, conventional vs I-Poly", experiments.RunThreeCCtx),
+		exp("interleave", "§2.1 lineage: interleaved-memory bank selectors, bandwidth vs stride", experiments.RunInterleaveCtx),
+		exp("ablate", "design-choice ablations (polynomial, skew, bits, replacement, MSHRs, predictor, L2)", experiments.RunAblateCtx),
+	}
+	sort.Slice(exps, func(i, j int) bool { return exps[i].name < exps[j].name })
+	return exps
+}
+
+// Main is the `repro` entry point: it installs signal-driven
+// cancellation (SIGINT/SIGTERM abort the worker pool) and dispatches.
+func Main(argv []string) int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return Run(ctx, argv, os.Stdout, os.Stderr)
+}
+
+// Run dispatches one invocation.  It is Main with injectable context
+// and streams so tests can drive the full CLI in-process.
+func Run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
+	if len(argv) == 0 {
+		usage(stdout)
+		return 0
+	}
+	name, rest := argv[0], argv[1:]
+	switch name {
+	case "help", "-h", "-help", "--help":
+		usage(stdout)
+		return 0
+	case "list":
+		listExperiments(stdout)
+		return 0
+	case "all":
+		return runExperiments(ctx, experimentList(), rest, stdout, stderr)
+	case "gates":
+		return gatesMain(rest, stdout, stderr)
+	case "stridescan":
+		return stridescanMain(rest, stdout, stderr)
+	case "tracegen":
+		return tracegenMain(ctx, rest, stdout, stderr)
+	case "tracesim":
+		return tracesimMain(ctx, rest, stdout, stderr)
+	}
+	for _, e := range experimentList() {
+		if e.name == name {
+			return runExperiments(ctx, []experiment{e}, rest, stdout, stderr)
+		}
+	}
+	fmt.Fprintf(stderr, "repro: unknown subcommand %q (run `repro help`)\n", name)
+	return 2
+}
+
+// parseFlags parses fs and reports whether to proceed: `-h` prints the
+// flag set's usage and exits 0, any other parse error exits 2.
+func parseFlags(fs *flag.FlagSet, args []string) (code int, proceed bool) {
+	switch err := fs.Parse(args); {
+	case err == nil:
+		return 0, true
+	case errors.Is(err, flag.ErrHelp):
+		return 0, false
+	default:
+		return 2, false
+	}
+}
+
+// expFlags parses the shared experiment flags.
+func expFlags(name string, args []string, stderr io.Writer) (_ experiments.Options, asJSON bool, code int, proceed bool) {
+	fs := flag.NewFlagSet("repro "+name, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	instrs := fs.Uint64("instructions", 0, "instructions per benchmark per configuration (0 = default 200k)")
+	seed := fs.Uint64("seed", 0, "workload seed (0 = default 1997)")
+	stride := fs.Int("maxstride", 0, "figure 1 stride sweep bound (0 = default 4096)")
+	rounds := fs.Int("rounds", 0, "figure 1 walk rounds per stride (0 = default 17)")
+	workers := fs.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS); results are identical at any count")
+	jsonOut := fs.Bool("json", false, "emit structured JSON instead of rendered text")
+	if code, ok := parseFlags(fs, args); !ok {
+		return experiments.Options{}, false, code, false
+	}
+	return experiments.Options{
+		Instructions: *instrs,
+		Seed:         *seed,
+		MaxStride:    *stride,
+		Fig1Rounds:   *rounds,
+		Workers:      *workers,
+	}, *jsonOut, 0, true
+}
+
+// runExperiments executes the given experiments with one shared flag
+// set.  In JSON mode the combined result is marshalled once with sorted
+// keys, so output is byte-identical at every worker count.
+func runExperiments(ctx context.Context, exps []experiment, args []string, stdout, stderr io.Writer) int {
+	name := "all"
+	if len(exps) == 1 {
+		name = exps[0].name
+	}
+	opts, asJSON, code, ok := expFlags(name, args, stderr)
+	if !ok {
+		return code
+	}
+	if asJSON {
+		out := make(map[string]any, len(exps))
+		for _, e := range exps {
+			r, err := e.raw(ctx, opts)
+			if err != nil {
+				fmt.Fprintf(stderr, "repro %s: %v\n", e.name, err)
+				return 1
+			}
+			out[e.name] = r
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "repro: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	for _, e := range exps {
+		start := time.Now()
+		fmt.Fprintf(stdout, "=== %s ===\n", e.name)
+		s, err := e.render(ctx, opts)
+		if err != nil {
+			fmt.Fprintf(stderr, "repro %s: %v\n", e.name, err)
+			return 1
+		}
+		fmt.Fprintln(stdout, s)
+		fmt.Fprintf(stdout, "[%s completed in %v]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+	return 0
+}
+
+func listExperiments(w io.Writer) {
+	fmt.Fprintln(w, "Experiments:")
+	for _, e := range experimentList() {
+		fmt.Fprintf(w, "  %-10s %s\n", e.name, e.desc)
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, "repro: reproduction harness for the conflict-avoiding cache (MICRO-30 1997)")
+	fmt.Fprintln(w, "\nUsage:\n  repro <experiment> [-instructions N] [-seed S] [-workers W] [-json]")
+	fmt.Fprintln(w, "  repro all [flags]       run every experiment")
+	fmt.Fprintln(w, "  repro list              list experiments")
+	fmt.Fprintln(w)
+	listExperiments(w)
+	fmt.Fprintln(w, "\nTools:")
+	fmt.Fprintln(w, "  gates       I-Poly index hardware audit (irreducible polynomials, XOR fan-in)")
+	fmt.Fprintln(w, "  stridescan  dissect one stride of the Figure 1 kernel across schemes")
+	fmt.Fprintln(w, "  tracegen    write a synthetic benchmark trace to a file")
+	fmt.Fprintln(w, "  tracesim    replay a binary trace through a cache configuration")
+	fmt.Fprintln(w, "\nExperiment sweeps run on a bounded worker pool (-workers, default")
+	fmt.Fprintln(w, "GOMAXPROCS); results are bit-identical at every worker count.")
+}

@@ -1,0 +1,151 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tinyFlags keeps every experiment fast enough to run the full `all`
+// sweep three times.
+func tinyFlags(extra ...string) []string {
+	return append([]string{
+		"-instructions", "4000", "-seed", "7", "-maxstride", "160", "-rounds", "5",
+	}, extra...)
+}
+
+// runCLI drives the full CLI in-process and returns stdout.
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	if code := Run(context.Background(), args, &stdout, &stderr); code != 0 {
+		t.Fatalf("repro %v exited %d: %s", args, code, stderr.String())
+	}
+	return stdout.String()
+}
+
+// TestAllJSONByteIdenticalAcrossWorkers is the PR's headline acceptance
+// criterion: `repro all -workers=N -json` emits byte-identical output
+// for N in {1, 4, 16} with a fixed seed.
+func TestAllJSONByteIdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full experiment suite three times")
+	}
+	golden := runCLI(t, append([]string{"all"}, tinyFlags("-json", "-workers", "1")...)...)
+	if !json.Valid([]byte(golden)) {
+		t.Fatal("all -json emitted invalid JSON")
+	}
+	// Every experiment must appear as a top-level key.
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(golden), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(experimentList()) {
+		t.Fatalf("all -json has %d keys, want %d", len(decoded), len(experimentList()))
+	}
+	for _, workers := range []string{"4", "16"} {
+		got := runCLI(t, append([]string{"all"}, tinyFlags("-json", "-workers", workers)...)...)
+		if got != golden {
+			t.Errorf("-workers=%s output differs from -workers=1 (%d vs %d bytes)",
+				workers, len(got), len(golden))
+		}
+	}
+}
+
+func TestFig1JSONDeterministicAcrossWorkers(t *testing.T) {
+	golden := runCLI(t, append([]string{"fig1"}, tinyFlags("-json", "-workers", "1")...)...)
+	for _, workers := range []string{"4", "16"} {
+		if got := runCLI(t, append([]string{"fig1"}, tinyFlags("-json", "-workers", workers)...)...); got != golden {
+			t.Errorf("fig1 -workers=%s JSON differs from -workers=1", workers)
+		}
+	}
+	if !strings.Contains(golden, "\"fig1\"") {
+		t.Error("fig1 JSON missing its experiment key")
+	}
+}
+
+func TestExperimentRenderSmoke(t *testing.T) {
+	out := runCLI(t, append([]string{"interleave"}, tinyFlags()...)...)
+	for _, want := range []string{"=== interleave ===", "ipoly-16", "completed in"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("interleave output missing %q", want)
+		}
+	}
+}
+
+func TestListAndHelp(t *testing.T) {
+	list := runCLI(t, "list")
+	for _, e := range experimentList() {
+		if !strings.Contains(list, e.name) {
+			t.Errorf("list output missing %q", e.name)
+		}
+	}
+	help := runCLI(t, "help")
+	for _, want := range []string{"repro", "tracegen", "-workers"} {
+		if !strings.Contains(help, want) {
+			t.Errorf("help output missing %q", want)
+		}
+	}
+	// Bare invocation prints usage too.
+	if bare := runCLI(t); !strings.Contains(bare, "Usage") {
+		t.Error("bare repro did not print usage")
+	}
+}
+
+func TestUnknownSubcommand(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := Run(context.Background(), []string{"nonsense"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown subcommand exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown subcommand") {
+		t.Errorf("stderr %q not diagnostic", stderr.String())
+	}
+}
+
+func TestGatesTool(t *testing.T) {
+	out := runCLI(t, "gates", "-indexbits", "7", "-addrbits", "19")
+	for _, want := range []string{"polynomial", "Recommended modulus", "Gate network"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gates output missing %q", want)
+		}
+	}
+}
+
+func TestStridescanTool(t *testing.T) {
+	out := runCLI(t, "stridescan", "-stride", "512", "-rounds", "3")
+	if !strings.Contains(out, "a2-Hp-Sk") {
+		t.Error("stridescan output missing scheme column")
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.trace")
+	gen := runCLI(t, "tracegen", "-bench", "tomcatv", "-n", "2000", "-o", path)
+	if !strings.Contains(gen, "wrote 2000 records") {
+		t.Fatalf("tracegen output: %q", gen)
+	}
+	sim := runCLI(t, "tracesim", "-trace", path)
+	for _, want := range []string{"memory references", "3C breakdown", "load miss ratio"} {
+		if !strings.Contains(sim, want) {
+			t.Errorf("tracesim output missing %q", want)
+		}
+	}
+}
+
+// TestCancelledContextFailsFast ensures the signal-cancellation path
+// aborts an experiment instead of running it to completion.
+func TestCancelledContextFailsFast(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var stdout, stderr bytes.Buffer
+	if code := Run(ctx, append([]string{"fig1"}, tinyFlags()...), &stdout, &stderr); code != 1 {
+		t.Fatalf("cancelled run exited %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "context canceled") {
+		t.Errorf("stderr %q does not surface cancellation", stderr.String())
+	}
+}

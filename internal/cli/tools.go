@@ -1,0 +1,281 @@
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cache"
+	"repro/internal/gf2"
+	"repro/internal/index"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// gatesMain is the hardware-design view of I-Poly indexing: it
+// enumerates the irreducible modulus polynomials for a given cache
+// geometry, audits the XOR-gate fan-in of each (the paper keeps every
+// gate at fan-in <= 5, §3.4), recommends the minimum-fan-in choice, and
+// prints the full gate network for the selected polynomial.
+func gatesMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("repro gates", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	indexBits := fs.Int("indexbits", 7, "cache index bits (degree of P)")
+	addrBits := fs.Int("addrbits", 19, "address bits feeding the hash")
+	blockBits := fs.Int("blockbits", 5, "block offset bits (excluded from the hash)")
+	show := fs.Int("show", 1, "print gate networks for the N best polynomials")
+	if code, ok := parseFlags(fs, args); !ok {
+		return code
+	}
+
+	in := *addrBits - *blockBits
+	if in <= *indexBits {
+		fmt.Fprintf(stderr, "gates: %d address bits leave %d hash inputs; need more than %d\n",
+			*addrBits, in, *indexBits)
+		return 2
+	}
+
+	fmt.Fprintf(stdout, "I-Poly index hardware audit: %d index bits, %d hash inputs (address bits %d..%d)\n\n",
+		*indexBits, in, *blockBits, *addrBits-1)
+
+	polys, fans := gf2.FanInTable(*indexBits, in)
+	fmt.Fprintf(stdout, "%-28s %10s %12s %10s\n", "polynomial", "max fan-in", "gate inputs", "primitive")
+	for i, p := range polys {
+		fmt.Fprintf(stdout, "%-28s %10d %12d %10v\n",
+			p, fans[i], gf2.TotalGateInputs(p, in), gf2.Primitive(p))
+	}
+
+	best, fan := gf2.MinFanInIrreducible(*indexBits, in)
+	fmt.Fprintf(stdout, "\nRecommended modulus: %v (max fan-in %d", best, fan)
+	if fan <= 5 {
+		fmt.Fprintf(stdout, " — within the paper's 5-input budget)\n")
+	} else {
+		fmt.Fprintf(stdout, " — exceeds the paper's 5-input budget; consider fewer address bits)\n")
+	}
+
+	shown := 0
+	for i, p := range polys {
+		if fans[i] != fan || shown >= *show {
+			continue
+		}
+		fmt.Fprintf(stdout, "\nGate network for P(x) = %v:\n%s", p, gf2.NewModMatrix(p, in).GateDescription())
+		shown++
+	}
+	return 0
+}
+
+// stridescanMain is an analysis tool for a single stride: it walks the
+// Figure 1 vector kernel at one stride through all four indexing
+// schemes and prints per-scheme miss ratios and the set-occupancy
+// footprint, so a pathological stride can be dissected in detail.
+func stridescanMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("repro stridescan", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	stride := fs.Uint64("stride", 1024, "element stride (8-byte elements)")
+	elems := fs.Int("elems", 64, "vector length in elements")
+	rounds := fs.Int("rounds", 17, "walk rounds (first is warm-up)")
+	if code, ok := parseFlags(fs, args); !ok {
+		return code
+	}
+
+	fmt.Fprintf(stdout, "stride %d elements (%d bytes), %d-element vector, %d rounds\n\n",
+		*stride, *stride*8, *elems, *rounds)
+	fmt.Fprintf(stdout, "%-10s %10s %14s\n", "scheme", "miss%", "distinct sets")
+
+	for _, scheme := range index.AllSchemes() {
+		place := index.MustNew(scheme, 7, 2, 17)
+		c := cache.New(cache.Config{
+			Size: 8 << 10, BlockSize: 32, Ways: 2,
+			Placement: place, WriteAllocate: false,
+		})
+		ss := workload.NewStrideStream(0, *stride*8, *elems, *rounds)
+		sets := make(map[uint64]struct{})
+		warm := *elems
+		for {
+			r, ok := ss.Next()
+			if !ok {
+				break
+			}
+			if warm > 0 {
+				warm--
+				c.Access(r.Addr, false)
+				if warm == 0 {
+					c.ResetStats()
+				}
+				continue
+			}
+			sets[place.SetIndex(r.Addr>>5, 0)] = struct{}{}
+			c.Access(r.Addr, false)
+		}
+		fmt.Fprintf(stdout, "%-10s %9.2f%% %14d\n",
+			scheme, 100*c.Stats().MissRatio(), len(sets))
+	}
+	return 0
+}
+
+// tracegenMain writes a synthetic benchmark trace to a file in the
+// repository's binary trace format (or human-readable text), so traces
+// can be archived, diffed, or replayed by `repro tracesim` and external
+// tools.
+func tracegenMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("repro tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bench := fs.String("bench", "tomcatv", "benchmark profile name (see workload.Suite)")
+	n := fs.Int("n", 100_000, "instructions to emit")
+	seed := fs.Uint64("seed", 1997, "generator seed")
+	out := fs.String("o", "", "output file (default <bench>.trace)")
+	text := fs.Bool("text", false, "write text format instead of binary")
+	memOnly := fs.Bool("mem", false, "emit only loads and stores")
+	if code, ok := parseFlags(fs, args); !ok {
+		return code
+	}
+
+	prof, ok := workload.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(stderr, "tracegen: unknown benchmark %q; known:\n", *bench)
+		for _, p := range workload.Suite() {
+			fmt.Fprintf(stderr, "  %s\n", p.Name)
+		}
+		return 2
+	}
+	path := *out
+	if path == "" {
+		path = prof.Name + ".trace"
+		if *text {
+			path = prof.Name + ".trace.txt"
+		}
+	}
+
+	var s trace.Stream = &trace.Limit{S: workload.Stream(prof, *seed), N: *n}
+	if *memOnly {
+		s = &trace.Limit{S: &trace.MemOnly{S: workload.Stream(prof, *seed)}, N: *n}
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "tracegen: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+
+	count := 0
+	if *text {
+		recs := trace.Collect(s, 0)
+		if err := trace.WriteText(f, recs); err != nil {
+			fmt.Fprintf(stderr, "tracegen: %v\n", err)
+			return 1
+		}
+		count = len(recs)
+	} else {
+		w := trace.NewWriter(f)
+		for {
+			if count&0xFFF == 0 && ctx.Err() != nil {
+				fmt.Fprintf(stderr, "tracegen: %v\n", ctx.Err())
+				return 1
+			}
+			r, ok := s.Next()
+			if !ok {
+				break
+			}
+			if err := w.Write(r); err != nil {
+				fmt.Fprintf(stderr, "tracegen: %v\n", err)
+				return 1
+			}
+			count++
+		}
+		if err := w.Flush(); err != nil {
+			fmt.Fprintf(stderr, "tracegen: %v\n", err)
+			return 1
+		}
+	}
+	fmt.Fprintf(stdout, "wrote %d records of %s to %s\n", count, prof.Name, path)
+	return 0
+}
+
+// tracesimMain replays a binary trace file (produced by `repro
+// tracegen` or any tool emitting the same format) through a cache
+// configuration and reports hit/miss statistics with a 3C miss
+// breakdown — the trace-driven half of the paper's methodology.
+func tracesimMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("repro tracesim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	path := fs.String("trace", "", "binary trace file (required)")
+	size := fs.Int("size", 8<<10, "cache size in bytes")
+	block := fs.Int("block", 32, "block size in bytes")
+	ways := fs.Int("ways", 2, "associativity")
+	scheme := fs.String("scheme", "a2-Hp-Sk", "index scheme: a2, a2-Hx, a2-Hx-Sk, a2-Hp, a2-Hp-Sk")
+	addrBits := fs.Int("addrbits", 19, "address bits feeding hash schemes")
+	if code, ok := parseFlags(fs, args); !ok {
+		return code
+	}
+
+	if *path == "" {
+		fs.Usage()
+		return 2
+	}
+
+	sets := *size / *block / *ways
+	setBits := 0
+	for s := sets; s > 1; s >>= 1 {
+		setBits++
+	}
+	blockBits := 0
+	for b := *block; b > 1; b >>= 1 {
+		blockBits++
+	}
+	place, err := index.New(index.Scheme(*scheme), setBits, *ways, *addrBits-blockBits)
+	if err != nil {
+		fmt.Fprintf(stderr, "tracesim: %v\n", err)
+		return 2
+	}
+	c := cache.New(cache.Config{
+		Size: *size, BlockSize: *block, Ways: *ways,
+		Placement: place, WriteAllocate: false,
+	})
+	cl := cache.NewClassifier(*size / *block)
+
+	f, err := os.Open(*path)
+	if err != nil {
+		fmt.Fprintf(stderr, "tracesim: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+
+	r := trace.NewReader(f)
+	n := 0
+	for {
+		if n&0xFFF == 0 && ctx.Err() != nil {
+			fmt.Fprintf(stderr, "tracesim: %v\n", ctx.Err())
+			return 1
+		}
+		rec, ok := r.Next()
+		if !ok {
+			break
+		}
+		if !rec.Op.IsMem() {
+			continue
+		}
+		res := c.Access(rec.Addr, rec.Op == trace.OpStore)
+		cl.Observe(c.Block(rec.Addr), !res.Hit)
+		n++
+	}
+	if err := r.Err(); err != nil {
+		fmt.Fprintf(stderr, "tracesim: %v\n", err)
+		return 1
+	}
+
+	s := c.Stats()
+	brk := cl.Breakdown()
+	fmt.Fprintf(stdout, "trace: %s  (%d memory references)\n", *path, n)
+	fmt.Fprintf(stdout, "cache: %dB, %d-way, %dB lines, scheme %s (%d sets)\n",
+		*size, *ways, *block, place.Name(), place.Sets())
+	fmt.Fprintf(stdout, "\naccesses  %10d\nhits      %10d\nmisses    %10d  (%.2f%%)\n",
+		s.Accesses, s.Hits, s.Misses, 100*s.MissRatio())
+	fmt.Fprintf(stdout, "load miss ratio: %.2f%%\n", 100*s.ReadMissRatio())
+	fmt.Fprintf(stdout, "\n3C breakdown of %d classified misses:\n", brk.Total())
+	fmt.Fprintf(stdout, "  compulsory %10d\n  capacity   %10d\n  conflict   %10d\n",
+		brk.Compulsory, brk.Capacity, brk.Conflict)
+	return 0
+}

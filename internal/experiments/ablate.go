@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -8,6 +9,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/gf2"
 	"repro/internal/index"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -82,86 +84,136 @@ func reduciblePolys(n int) []gf2.Poly {
 
 // RunAblate runs every ablation.
 func RunAblate(o Options) AblateResult {
+	res, _ := RunAblateCtx(context.Background(), o)
+	return res
+}
+
+// RunAblateCtx runs every ablation on the parallel engine.  Every
+// variant reduces to a single float64 (a bad-program mean miss ratio or
+// an IPC), so the whole study flattens into one job list decoded
+// positionally by the reducer.
+func RunAblateCtx(ctx context.Context, o Options) (AblateResult, error) {
 	o = o.normalize()
 	var res AblateResult
 
-	// Irreducible vs reducible modulus.
-	res.IrreducibleMiss = badMiss(o, func() *cache.Cache {
+	var jobs []runner.JobOf[float64]
+	add := func(key string, fn func(*runner.Ctx) (float64, error)) {
+		jobs = append(jobs, runner.KeyedJob("ablate/"+key, fn))
+	}
+	addBadMiss := func(key string, mk func() *cache.Cache) {
+		add(key, func(*runner.Ctx) (float64, error) { return badMiss(o, mk), nil })
+	}
+
+	// Irreducible vs reducible modulus; skewed (= irreducible) vs
+	// unskewed I-Poly.
+	addBadMiss("modulus=irreducible", func() *cache.Cache {
 		return cache8K(index.NewIPolyDefault(2, setBits8K, hashInBits), cache.LRU)
 	})
-	res.ReducibleMiss = badMiss(o, func() *cache.Cache {
+	addBadMiss("modulus=reducible", func() *cache.Cache {
 		return cache8K(index.NewIPoly(reduciblePolys(2), setBits8K, hashInBits), cache.LRU)
 	})
-
-	// Skewed vs unskewed.
-	res.SkewedMiss = res.IrreducibleMiss
-	res.UnskewedMiss = badMiss(o, func() *cache.Cache {
+	addBadMiss("skew=unskewed", func() *cache.Cache {
 		return cache8K(index.NewIPolyDefault(1, setBits8K, hashInBits), cache.LRU)
 	})
 
 	// Number of hashed address bits.
-	for _, v := range []int{8, 9, 10, 12, 14} {
-		v := v
-		res.VBits = append(res.VBits, v+blockBits) // report as address bits
-		res.VBitsMiss = append(res.VBitsMiss, badMiss(o, func() *cache.Cache {
+	vbits := []int{8, 9, 10, 12, 14}
+	for _, v := range vbits {
+		addBadMiss(fmt.Sprintf("vbits=%d", v), func() *cache.Cache {
 			return cache8K(index.NewIPolyDefault(2, setBits8K, v), cache.LRU)
-		}))
+		})
 	}
 
 	// Replacement policies under skewing.
-	for _, rp := range []cache.ReplPolicy{cache.LRU, cache.FIFO, cache.Random} {
-		rp := rp
-		res.ReplNames = append(res.ReplNames, rp.String())
-		res.ReplMiss = append(res.ReplMiss, badMiss(o, func() *cache.Cache {
+	repls := []cache.ReplPolicy{cache.LRU, cache.FIFO, cache.Random}
+	for _, rp := range repls {
+		addBadMiss("repl="+rp.String(), func() *cache.Cache {
 			return cache8K(index.NewIPolyDefault(2, setBits8K, hashInBits), rp)
-		}))
+		})
 	}
 
 	// MSHR sweep on swim (conventional indexing: many misses to overlap).
 	swim, _ := workload.ByName("swim")
-	for _, n := range []int{1, 2, 4, 8, 16} {
-		cfg := cpu.DefaultConfig(cpu.PaperCache(8<<10, nil))
-		cfg.MSHRs = n
-		r := cpu.New(cfg).Run(&trace.Limit{S: workload.Stream(swim, o.Seed), N: int(o.Instructions)}, o.Instructions)
-		res.MSHRCounts = append(res.MSHRCounts, n)
-		res.MSHRIPC = append(res.MSHRIPC, r.IPC())
+	mshrs := []int{1, 2, 4, 8, 16}
+	for _, n := range mshrs {
+		add(fmt.Sprintf("mshrs=%d", n), func(*runner.Ctx) (float64, error) {
+			cfg := cpu.DefaultConfig(cpu.PaperCache(8<<10, nil))
+			cfg.MSHRs = n
+			r := cpu.New(cfg).Run(&trace.Limit{S: workload.Stream(swim, o.Seed), N: int(o.Instructions)}, o.Instructions)
+			return r.IPC(), nil
+		})
 	}
 
 	// Finite-L2 indexing (extension): with a small 64 KB L2 behind a
 	// conventional L1, does polynomial indexing at L2 help?  (The paper's
 	// §3.2 hierarchy uses a conventional L2; this quantifies the choice.)
-	for _, l2scheme := range []index.Scheme{index.SchemeModulo, index.SchemeIPolySk} {
-		l2place := index.MustNew(l2scheme, 10, 2, 16) // 64KB/32B/2-way => 1024 sets
-		l2cfg := cache.Config{
-			Size: 64 << 10, BlockSize: 32, Ways: 2,
-			Placement: l2place, WriteBack: true, WriteAllocate: true,
-		}
-		cfg := cpu.DefaultConfig(cpu.PaperCache(8<<10, nil))
-		cfg.L2 = &l2cfg
-		cfg.L2MissPenalty = 60
-		var ipcs []float64
-		for _, name := range workload.BadPrograms() {
-			prof, _ := workload.ByName(name)
-			r := cpu.New(cfg).Run(&trace.Limit{S: workload.Stream(prof, o.Seed), N: int(o.Instructions)}, o.Instructions)
-			ipcs = append(ipcs, r.IPC())
-		}
-		res.L2Schemes = append(res.L2Schemes, string(l2scheme))
-		res.L2IPC = append(res.L2IPC, stats.GeoMean(ipcs))
+	l2schemes := []index.Scheme{index.SchemeModulo, index.SchemeIPolySk}
+	for _, l2scheme := range l2schemes {
+		add("l2scheme="+string(l2scheme), func(*runner.Ctx) (float64, error) {
+			l2place := index.MustNew(l2scheme, 10, 2, 16) // 64KB/32B/2-way => 1024 sets
+			l2cfg := cache.Config{
+				Size: 64 << 10, BlockSize: 32, Ways: 2,
+				Placement: l2place, WriteBack: true, WriteAllocate: true,
+			}
+			cfg := cpu.DefaultConfig(cpu.PaperCache(8<<10, nil))
+			cfg.L2 = &l2cfg
+			cfg.L2MissPenalty = 60
+			var ipcs []float64
+			for _, name := range workload.BadPrograms() {
+				prof, _ := workload.ByName(name)
+				r := cpu.New(cfg).Run(&trace.Limit{S: workload.Stream(prof, o.Seed), N: int(o.Instructions)}, o.Instructions)
+				ipcs = append(ipcs, r.IPC())
+			}
+			return stats.GeoMean(ipcs), nil
+		})
 	}
 
 	// Address predictor size on tomcatv with the XOR penalty.
 	tom, _ := workload.ByName("tomcatv")
 	ipoly := index.MustNew(index.SchemeIPolySk, setBits8K, 2, hashInBits)
-	for _, n := range []int{64, 256, 1024, 4096} {
-		cfg := cpu.DefaultConfig(cpu.PaperCache(8<<10, ipoly))
-		cfg.XorInCP = true
-		cfg.AddrPred = true
-		cfg.APredEntries = n
-		r := cpu.New(cfg).Run(&trace.Limit{S: workload.Stream(tom, o.Seed), N: int(o.Instructions)}, o.Instructions)
-		res.APredSizes = append(res.APredSizes, n)
-		res.APredIPC = append(res.APredIPC, r.IPC())
+	apreds := []int{64, 256, 1024, 4096}
+	for _, n := range apreds {
+		add(fmt.Sprintf("apred=%d", n), func(*runner.Ctx) (float64, error) {
+			cfg := cpu.DefaultConfig(cpu.PaperCache(8<<10, ipoly))
+			cfg.XorInCP = true
+			cfg.AddrPred = true
+			cfg.APredEntries = n
+			r := cpu.New(cfg).Run(&trace.Limit{S: workload.Stream(tom, o.Seed), N: int(o.Instructions)}, o.Instructions)
+			return r.IPC(), nil
+		})
 	}
-	return res
+
+	vals, err := runner.All(ctx, o.runnerOpts(), jobs)
+	if err != nil {
+		return res, err
+	}
+	next := 0
+	take := func() float64 { v := vals[next]; next++; return v }
+	res.IrreducibleMiss = take()
+	res.ReducibleMiss = take()
+	res.SkewedMiss = res.IrreducibleMiss
+	res.UnskewedMiss = take()
+	for _, v := range vbits {
+		res.VBits = append(res.VBits, v+blockBits) // report as address bits
+		res.VBitsMiss = append(res.VBitsMiss, take())
+	}
+	for _, rp := range repls {
+		res.ReplNames = append(res.ReplNames, rp.String())
+		res.ReplMiss = append(res.ReplMiss, take())
+	}
+	for _, n := range mshrs {
+		res.MSHRCounts = append(res.MSHRCounts, n)
+		res.MSHRIPC = append(res.MSHRIPC, take())
+	}
+	for _, s := range l2schemes {
+		res.L2Schemes = append(res.L2Schemes, string(s))
+		res.L2IPC = append(res.L2IPC, take())
+	}
+	for _, n := range apreds {
+		res.APredSizes = append(res.APredSizes, n)
+		res.APredIPC = append(res.APredIPC, take())
+	}
+	return res, nil
 }
 
 // Render prints every ablation block.

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/cache"
 	"repro/internal/gf2"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -25,30 +27,60 @@ type ColAssocResult struct {
 
 // RunColAssoc drives the suite through both variants.
 func RunColAssoc(o Options) ColAssocResult {
+	res, _ := RunColAssocCtx(context.Background(), o)
+	return res
+}
+
+// RunColAssocCtx runs the probe study on the parallel engine, one job
+// per benchmark (both variants share the job's single trace replay).
+func RunColAssocCtx(ctx context.Context, o Options) (ColAssocResult, error) {
 	o = o.normalize()
 	var res ColAssocResult
 	p := gf2.Irreducibles(8, 1)[0]
-	for _, prof := range workload.Suite() {
-		swap := cache.NewColumnAssociative(8<<10, 32, p, 19)
-		noswap := cache.NewColumnAssociative(8<<10, 32, p, 19)
-		noswap.Swap = false
-		s := &trace.MemOnly{S: workload.Stream(prof, o.Seed)}
-		for i := uint64(0); i < o.Instructions; i++ {
-			r, ok := s.Next()
-			if !ok {
-				break
-			}
-			w := r.Op == trace.OpStore
-			swap.Access(r.Addr, w)
-			noswap.Access(r.Addr, w)
-		}
-		res.Bench = append(res.Bench, prof.Name)
-		res.FirstProbeRate = append(res.FirstProbeRate, swap.FirstProbeHitRate())
-		res.MissRatio = append(res.MissRatio, 100*swap.Stats().ReadMissRatio())
-		res.AvgProbes = append(res.AvgProbes, swap.AvgProbesPerAccess())
-		res.NoSwapMissRatio = append(res.NoSwapMissRatio, 100*noswap.Stats().ReadMissRatio())
+	type caCell struct {
+		firstProbe, miss, avgProbes, noSwapMiss float64
 	}
-	return res
+	suite := workload.Suite()
+	jobs := make([]runner.JobOf[caCell], len(suite))
+	for i, prof := range suite {
+		jobs[i] = runner.KeyedJob("colassoc/"+prof.Name,
+			func(c *runner.Ctx) (caCell, error) {
+				swap := cache.NewColumnAssociative(8<<10, 32, p, 19)
+				noswap := cache.NewColumnAssociative(8<<10, 32, p, 19)
+				noswap.Swap = false
+				s := &trace.MemOnly{S: workload.Stream(prof, o.Seed)}
+				for i := uint64(0); i < o.Instructions; i++ {
+					if i&0x3FFF == 0 && c.Err() != nil {
+						return caCell{}, c.Err()
+					}
+					r, ok := s.Next()
+					if !ok {
+						break
+					}
+					w := r.Op == trace.OpStore
+					swap.Access(r.Addr, w)
+					noswap.Access(r.Addr, w)
+				}
+				return caCell{
+					firstProbe: swap.FirstProbeHitRate(),
+					miss:       100 * swap.Stats().ReadMissRatio(),
+					avgProbes:  swap.AvgProbesPerAccess(),
+					noSwapMiss: 100 * noswap.Stats().ReadMissRatio(),
+				}, nil
+			})
+	}
+	cells, err := runner.All(ctx, o.runnerOpts(), jobs)
+	if err != nil {
+		return res, err
+	}
+	for i, prof := range suite {
+		res.Bench = append(res.Bench, prof.Name)
+		res.FirstProbeRate = append(res.FirstProbeRate, cells[i].firstProbe)
+		res.MissRatio = append(res.MissRatio, cells[i].miss)
+		res.AvgProbes = append(res.AvgProbes, cells[i].avgProbes)
+		res.NoSwapMissRatio = append(res.NoSwapMissRatio, cells[i].noSwapMiss)
+	}
+	return res, nil
 }
 
 // Render prints per-benchmark probe behaviour.

@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"repro/internal/index"
+	"repro/internal/runner"
 )
 
 // Options controls experiment scale.  Defaults favour fidelity; tests use
@@ -21,6 +22,16 @@ type Options struct {
 	Fig1Rounds int
 	// MaxStride bounds the Figure 1 stride sweep (exclusive).
 	MaxStride int
+	// Workers bounds the parallel sweep pool; <= 0 means GOMAXPROCS.
+	// Results are bit-identical at every worker count: jobs derive all
+	// randomness from the options seed and their grid coordinates, and
+	// the runner reduces results in job order.
+	Workers int
+}
+
+// runnerOpts maps experiment options onto the sweep engine's options.
+func (o Options) runnerOpts() runner.Options {
+	return runner.Options{Workers: o.Workers, Seed: o.Seed}
 }
 
 // Defaults returns the standard experiment scale: 200k instructions per

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"repro/internal/cache"
 	"repro/internal/index"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -25,49 +27,140 @@ type Fig1Result struct {
 	Strides int
 }
 
+// fig1Schemes lists the four Figure 1 placement schemes in presentation
+// order (also the job-production order, so sweeps are deterministic).
+func fig1Schemes() []index.Scheme {
+	return []index.Scheme{
+		index.SchemeModulo, index.SchemeXORSk, index.SchemeIPoly, index.SchemeIPolySk,
+	}
+}
+
+// fig1Placement builds one Figure 1 placement.  The largest strides put
+// the kernel's footprint at ~2 MB, so the polynomial hash must see every
+// block-address bit the walk touches (17 bits here); truncating at the
+// paper's 19 *address* bits would introduce aliasing artifacts that have
+// nothing to do with the placement function.  XOR folding inherently
+// consumes 2m = 14 bits.
+func fig1Placement(s index.Scheme) index.Placement {
+	return index.MustNew(s, setBits8K, 2, 17)
+}
+
+// fig1Stride measures one stride's miss ratio of the 64×8-byte vector
+// walk through an 8 KB 2-way cache with the given placement.
+func fig1Stride(place index.Placement, stride uint64, rounds int) float64 {
+	const elems = 64
+	c := cache.New(cache.Config{
+		Size: 8 << 10, BlockSize: 32, Ways: 2,
+		Placement: place, WriteAllocate: false,
+	})
+	ss := workload.NewStrideStream(0, stride*8, elems, rounds)
+	// Warm-up round excluded from the measured ratio.
+	for i := 0; i < elems; i++ {
+		r, _ := ss.Next()
+		c.Access(r.Addr, false)
+	}
+	c.ResetStats()
+	for {
+		r, ok := ss.Next()
+		if !ok {
+			break
+		}
+		c.Access(r.Addr, false)
+	}
+	return c.Stats().MissRatio()
+}
+
+// fig1Chunk is the stride-sweep job granularity: big enough that cache
+// construction amortises, small enough that a 4-worker pool stays busy
+// on the full 1..4095 sweep (4 schemes × 16 chunks).
+const fig1Chunk = 256
+
+// fig1Partial is one job's contribution: a chunk of one scheme's sweep.
+type fig1Partial struct {
+	scheme index.Scheme
+	hist   *stats.Histogram
+	patho  int
+}
+
+// fig1Jobs decomposes the sweep into scheme × stride-chunk jobs.
+func fig1Jobs(o Options) []runner.JobOf[fig1Partial] {
+	var jobs []runner.JobOf[fig1Partial]
+	for _, scheme := range fig1Schemes() {
+		place := fig1Placement(scheme)
+		for lo := 1; lo < o.MaxStride; lo += fig1Chunk {
+			hi := lo + fig1Chunk
+			if hi > o.MaxStride {
+				hi = o.MaxStride
+			}
+			jobs = append(jobs, runner.KeyedJob(
+				fmt.Sprintf("fig1/%s/strides=%d-%d", scheme, lo, hi-1),
+				func(c *runner.Ctx) (fig1Partial, error) {
+					p := fig1Partial{scheme: scheme, hist: stats.NewHistogram(10)}
+					for s := lo; s < hi; s++ {
+						if c.Err() != nil {
+							return p, c.Err()
+						}
+						mr := fig1Stride(place, uint64(s), o.Fig1Rounds)
+						p.hist.Add(mr)
+						if mr > 0.5 {
+							p.patho++
+						}
+					}
+					return p, nil
+				}))
+		}
+	}
+	return jobs
+}
+
 // RunFig1 sweeps element strides 1..MaxStride-1 of the 64×8-byte vector
 // walk through 8 KB 2-way caches differing only in placement function.
 func RunFig1(o Options) Fig1Result {
+	res, _ := RunFig1Ctx(context.Background(), o)
+	return res
+}
+
+// RunFig1Ctx is RunFig1 with cancellation: the sweep runs on the
+// parallel engine and aborts early when ctx is cancelled.
+func RunFig1Ctx(ctx context.Context, o Options) (Fig1Result, error) {
 	o = o.normalize()
 	res := Fig1Result{
 		Histograms:   make(map[index.Scheme]*stats.Histogram),
 		Pathological: make(map[index.Scheme]int),
 		Strides:      o.MaxStride - 1,
 	}
-	const elems = 64
-	// The largest strides put the kernel's footprint at ~2 MB, so the
-	// polynomial hash must see every block-address bit the walk touches
-	// (17 bits here); truncating at the paper's 19 *address* bits would
-	// introduce aliasing artifacts that have nothing to do with the
-	// placement function.  XOR folding inherently consumes 2m = 14 bits.
-	fig1Placements := map[index.Scheme]index.Placement{
-		index.SchemeModulo:  index.MustNew(index.SchemeModulo, setBits8K, 2, 17),
-		index.SchemeXORSk:   index.MustNew(index.SchemeXORSk, setBits8K, 2, 17),
-		index.SchemeIPoly:   index.MustNew(index.SchemeIPoly, setBits8K, 2, 17),
-		index.SchemeIPolySk: index.MustNew(index.SchemeIPolySk, setBits8K, 2, 17),
+	parts, err := runner.All(ctx, o.runnerOpts(), fig1Jobs(o))
+	if err != nil {
+		return res, err
 	}
-	for scheme, place := range fig1Placements {
+	for _, p := range parts {
+		if h, ok := res.Histograms[p.scheme]; ok {
+			h.Merge(p.hist)
+		} else {
+			res.Histograms[p.scheme] = p.hist
+		}
+		res.Pathological[p.scheme] += p.patho
+	}
+	return res, nil
+}
+
+// RunFig1Serial is the original single-threaded driver, retained as the
+// golden reference the parallel engine is pinned against (see
+// TestFig1ParallelMatchesSerial) and as the baseline for
+// BenchmarkRunnerParallel.
+func RunFig1Serial(o Options) Fig1Result {
+	o = o.normalize()
+	res := Fig1Result{
+		Histograms:   make(map[index.Scheme]*stats.Histogram),
+		Pathological: make(map[index.Scheme]int),
+		Strides:      o.MaxStride - 1,
+	}
+	for _, scheme := range fig1Schemes() {
+		place := fig1Placement(scheme)
 		h := stats.NewHistogram(10)
+		res.Pathological[scheme] = 0
 		for s := 1; s < o.MaxStride; s++ {
-			c := cache.New(cache.Config{
-				Size: 8 << 10, BlockSize: 32, Ways: 2,
-				Placement: place, WriteAllocate: false,
-			})
-			ss := workload.NewStrideStream(0, uint64(s)*8, elems, o.Fig1Rounds)
-			// Warm-up round excluded from the measured ratio.
-			for i := 0; i < elems; i++ {
-				r, _ := ss.Next()
-				c.Access(r.Addr, false)
-			}
-			c.ResetStats()
-			for {
-				r, ok := ss.Next()
-				if !ok {
-					break
-				}
-				c.Access(r.Addr, false)
-			}
-			mr := c.Stats().MissRatio()
+			mr := fig1Stride(place, uint64(s), o.Fig1Rounds)
 			h.Add(mr)
 			if mr > 0.5 {
 				res.Pathological[scheme]++

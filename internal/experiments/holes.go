@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -8,6 +9,7 @@ import (
 	"repro/internal/hierarchy"
 	"repro/internal/index"
 	"repro/internal/rng"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -40,82 +42,124 @@ type HolesResult struct {
 
 // RunHoles runs both parts of the §3.3 study.
 func RunHoles(o Options) HolesResult {
+	res, _ := RunHolesCtx(context.Background(), o)
+	return res
+}
+
+// RunHolesCtx runs the hole study on the parallel engine: one job per
+// L2 size in the model-validation sweep, one job per benchmark in the
+// suite measurement.
+func RunHolesCtx(ctx context.Context, o Options) (HolesResult, error) {
 	o = o.normalize()
 	var res HolesResult
 
 	// Part 1: direct-mapped L1/L2 with pseudo-random indices at both
 	// levels, random traffic — the setting of the analytical model.
 	const l1KB = 8
-	for _, l2KB := range []int{32, 64, 128, 256, 512, 1024} {
-		m1 := 8 // 8 KB direct-mapped, 32 B lines => 256 sets
-		m2 := 0
-		for v := l2KB << 10 / 32; v > 1; v >>= 1 {
-			m2++
-		}
-		cfg := hierarchy.Config{
-			L1: cache.Config{
-				Size: l1KB << 10, BlockSize: 32, Ways: 1,
-				Placement:     index.NewIPolyDefault(1, m1, hashInBits),
-				WriteAllocate: true,
-			},
-			L2: cache.Config{
-				Size: l2KB << 10, BlockSize: 32, Ways: 1,
-				Placement: index.NewIPolyDefault(1, m2, m2+8),
-				WriteBack: true, WriteAllocate: true,
-			},
-			ScrambleSeed: o.Seed,
-		}
-		h := hierarchy.New(cfg)
-		r := rng.New(o.Seed)
-		n := int(o.Instructions) * 2
-		for i := 0; i < n; i++ {
-			h.Access(uint64(r.Intn(16<<20)), false)
-		}
-		s := h.Stats()
-		res.Sweep = append(res.Sweep, HolesRow{
-			L2KB:     l2KB,
-			Ratio:    l2KB / l1KB,
-			ModelPH:  hierarchy.ModelPH(m1, m2),
-			Measured: s.HoleRate(),
-			L2Misses: s.L2Misses,
-			Holes:    s.Holes,
-		})
+	l2Sizes := []int{32, 64, 128, 256, 512, 1024}
+	// Both parts share one pool run (a single job list, decoded
+	// positionally) so workers stay busy across the seam.
+	var jobs []runner.Job
+	for _, l2KB := range l2Sizes {
+		jobs = append(jobs, runner.Job{
+			Key: fmt.Sprintf("holes/sweep/l2=%dKB", l2KB),
+			Run: func(c *runner.Ctx) (any, error) {
+				m1 := 8 // 8 KB direct-mapped, 32 B lines => 256 sets
+				m2 := 0
+				for v := l2KB << 10 / 32; v > 1; v >>= 1 {
+					m2++
+				}
+				cfg := hierarchy.Config{
+					L1: cache.Config{
+						Size: l1KB << 10, BlockSize: 32, Ways: 1,
+						Placement:     index.NewIPolyDefault(1, m1, hashInBits),
+						WriteAllocate: true,
+					},
+					L2: cache.Config{
+						Size: l2KB << 10, BlockSize: 32, Ways: 1,
+						Placement: index.NewIPolyDefault(1, m2, m2+8),
+						WriteBack: true, WriteAllocate: true,
+					},
+					ScrambleSeed: o.Seed,
+				}
+				h := hierarchy.New(cfg)
+				r := rng.New(o.Seed)
+				n := int(o.Instructions) * 2
+				for i := 0; i < n; i++ {
+					if i&0xFFFF == 0 && c.Err() != nil {
+						return HolesRow{}, c.Err()
+					}
+					h.Access(uint64(r.Intn(16<<20)), false)
+				}
+				s := h.Stats()
+				return HolesRow{
+					L2KB:     l2KB,
+					Ratio:    l2KB / l1KB,
+					ModelPH:  hierarchy.ModelPH(m1, m2),
+					Measured: s.HoleRate(),
+					L2Misses: s.L2Misses,
+					Holes:    s.Holes,
+				}, nil
+			}})
 	}
 
 	// Part 2: the benchmark suite on the paper's hierarchy (8 KB 2-way
 	// skewed I-Poly L1, 1 MB 2-way conventional L2).
-	for _, prof := range workload.Suite() {
-		cfg := hierarchy.Config{
-			L1: cache.Config{
-				Size: 8 << 10, BlockSize: 32, Ways: 2,
-				Placement:     index.MustNew(index.SchemeIPolySk, setBits8K, 2, hashInBits),
-				WriteAllocate: false,
-			},
-			L2: cache.Config{
-				Size: 1 << 20, BlockSize: 32, Ways: 2,
-				WriteBack: true, WriteAllocate: true,
-			},
-			ScrambleSeed: o.Seed,
-		}
-		h := hierarchy.New(cfg)
-		s := &trace.MemOnly{S: workload.Stream(prof, o.Seed)}
-		for i := uint64(0); i < o.Instructions; i++ {
-			r, ok := s.Next()
-			if !ok {
-				break
-			}
-			h.Access(r.Addr, r.Op == trace.OpStore)
-		}
-		st := h.Stats()
-		res.SuiteNames = append(res.SuiteNames, prof.Name)
-		res.SuiteRates = append(res.SuiteRates, st.HoleRate())
-		share := 0.0
-		if st.L1Misses > 0 {
-			share = float64(st.HoleMisses) / float64(st.L1Misses)
-		}
-		res.SuiteHoleMissShare = append(res.SuiteHoleMissShare, share)
+	type suiteCell struct {
+		rate, share float64
 	}
-	return res
+	suite := workload.Suite()
+	for _, prof := range suite {
+		jobs = append(jobs, runner.Job{
+			Key: "holes/suite/" + prof.Name,
+			Run: func(c *runner.Ctx) (any, error) {
+				cfg := hierarchy.Config{
+					L1: cache.Config{
+						Size: 8 << 10, BlockSize: 32, Ways: 2,
+						Placement:     index.MustNew(index.SchemeIPolySk, setBits8K, 2, hashInBits),
+						WriteAllocate: false,
+					},
+					L2: cache.Config{
+						Size: 1 << 20, BlockSize: 32, Ways: 2,
+						WriteBack: true, WriteAllocate: true,
+					},
+					ScrambleSeed: o.Seed,
+				}
+				h := hierarchy.New(cfg)
+				s := &trace.MemOnly{S: workload.Stream(prof, o.Seed)}
+				for i := uint64(0); i < o.Instructions; i++ {
+					if i&0x3FFF == 0 && c.Err() != nil {
+						return suiteCell{}, c.Err()
+					}
+					r, ok := s.Next()
+					if !ok {
+						break
+					}
+					h.Access(r.Addr, r.Op == trace.OpStore)
+				}
+				st := h.Stats()
+				cell := suiteCell{rate: st.HoleRate()}
+				if st.L1Misses > 0 {
+					cell.share = float64(st.HoleMisses) / float64(st.L1Misses)
+				}
+				return cell, nil
+			}})
+	}
+
+	results, err := runner.Collect(ctx, o.runnerOpts(), jobs)
+	if err != nil {
+		return res, err
+	}
+	for i := range l2Sizes {
+		res.Sweep = append(res.Sweep, results[i].Value.(HolesRow))
+	}
+	for i, prof := range suite {
+		cell := results[len(l2Sizes)+i].Value.(suiteCell)
+		res.SuiteNames = append(res.SuiteNames, prof.Name)
+		res.SuiteRates = append(res.SuiteRates, cell.rate)
+		res.SuiteHoleMissShare = append(res.SuiteHoleMissShare, cell.share)
+	}
+	return res, nil
 }
 
 // Render prints both parts.

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/banks"
 	"repro/internal/gf2"
+	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
@@ -27,6 +29,13 @@ type InterleaveResult struct {
 // RunInterleave sweeps strides 1..MaxStride-1 (element strides over
 // 8-byte words).
 func RunInterleave(o Options) InterleaveResult {
+	res, _ := RunInterleaveCtx(context.Background(), o)
+	return res
+}
+
+// RunInterleaveCtx runs the bank-selector sweep on the parallel engine,
+// one job per selector.
+func RunInterleaveCtx(ctx context.Context, o Options) (InterleaveResult, error) {
 	o = o.normalize()
 	type mk struct {
 		name string
@@ -39,27 +48,45 @@ func RunInterleave(o Options) InterleaveResult {
 		{"xor-16", func() banks.Selector { return banks.NewXOR(4) }},
 		{"ipoly-16", func() banks.Selector { return banks.NewIPoly(poly, 20) }},
 	}
-	res := InterleaveResult{Strides: o.MaxStride - 1}
-	for _, s := range selectors {
-		var bws []float64
-		degraded := 0
-		for stride := uint64(1); stride < uint64(o.MaxStride); stride++ {
-			m := banks.NewMemory(s.sel(), 4)
-			for i := uint64(0); i < 512; i++ {
-				m.Access(i * stride)
-			}
-			bw := m.Bandwidth()
-			bws = append(bws, bw)
-			if bw < 0.5 {
-				degraded++
-			}
-		}
-		res.Schemes = append(res.Schemes, s.name)
-		res.MeanBW = append(res.MeanBW, stats.Mean(bws))
-		res.WorstBW = append(res.WorstBW, stats.Min(bws))
-		res.Degraded = append(res.Degraded, degraded)
+	type bankCell struct {
+		mean, worst float64
+		degraded    int
 	}
-	return res
+	res := InterleaveResult{Strides: o.MaxStride - 1}
+	jobs := make([]runner.JobOf[bankCell], len(selectors))
+	for i, s := range selectors {
+		jobs[i] = runner.KeyedJob("interleave/"+s.name,
+			func(c *runner.Ctx) (bankCell, error) {
+				var bws []float64
+				degraded := 0
+				for stride := uint64(1); stride < uint64(o.MaxStride); stride++ {
+					if stride&0xFF == 0 && c.Err() != nil {
+						return bankCell{}, c.Err()
+					}
+					m := banks.NewMemory(s.sel(), 4)
+					for i := uint64(0); i < 512; i++ {
+						m.Access(i * stride)
+					}
+					bw := m.Bandwidth()
+					bws = append(bws, bw)
+					if bw < 0.5 {
+						degraded++
+					}
+				}
+				return bankCell{mean: stats.Mean(bws), worst: stats.Min(bws), degraded: degraded}, nil
+			})
+	}
+	cells, err := runner.All(ctx, o.runnerOpts(), jobs)
+	if err != nil {
+		return res, err
+	}
+	for i, s := range selectors {
+		res.Schemes = append(res.Schemes, s.name)
+		res.MeanBW = append(res.MeanBW, cells[i].mean)
+		res.WorstBW = append(res.WorstBW, cells[i].worst)
+		res.Degraded = append(res.Degraded, cells[i].degraded)
+	}
+	return res, nil
 }
 
 // Render prints the comparison.

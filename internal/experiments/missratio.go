@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/cache"
 	"repro/internal/gf2"
 	"repro/internal/index"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -78,35 +80,59 @@ func newOrgs() (names []string, make8K func() []orgRunner) {
 
 // RunOrgs drives every benchmark's memory trace through each structure.
 func RunOrgs(o Options) OrgResult {
+	res, _ := RunOrgsCtx(context.Background(), o)
+	return res
+}
+
+// RunOrgsCtx runs the comparison on the parallel engine, one job per
+// benchmark (each job replays its trace through all organizations at
+// once, preserving the serial driver's single-pass structure).
+func RunOrgsCtx(ctx context.Context, o Options) (OrgResult, error) {
 	o = o.normalize()
 	names, mk := newOrgs()
 	res := OrgResult{Orgs: names}
+	suite := workload.Suite()
+	jobs := make([]runner.JobOf[[]float64], len(suite))
+	for i, prof := range suite {
+		jobs[i] = runner.KeyedJob("missratio/orgs/"+prof.Name,
+			func(c *runner.Ctx) ([]float64, error) {
+				orgs := mk()
+				s := &trace.MemOnly{S: workload.Stream(prof, o.Seed)}
+				for i := uint64(0); i < o.Instructions; i++ {
+					if i&0x3FFF == 0 && c.Err() != nil {
+						return nil, c.Err()
+					}
+					r, ok := s.Next()
+					if !ok {
+						break
+					}
+					for _, org := range orgs {
+						org.access(r.Addr, r.Op == trace.OpStore)
+					}
+				}
+				row := make([]float64, len(orgs))
+				for i, org := range orgs {
+					row[i] = 100 * org.missRatio()
+				}
+				return row, nil
+			})
+	}
+	rowsByBench, err := runner.All(ctx, o.runnerOpts(), jobs)
+	if err != nil {
+		return res, err
+	}
 	sums := make([]float64, len(names))
-	for _, prof := range workload.Suite() {
-		orgs := mk()
-		s := &trace.MemOnly{S: workload.Stream(prof, o.Seed)}
-		for i := uint64(0); i < o.Instructions; i++ {
-			r, ok := s.Next()
-			if !ok {
-				break
-			}
-			for _, org := range orgs {
-				org.access(r.Addr, r.Op == trace.OpStore)
-			}
-		}
-		var row []float64
-		for i, org := range orgs {
-			mr := 100 * org.missRatio()
-			row = append(row, mr)
-			sums[i] += mr
-		}
+	for i, prof := range suite {
 		res.Bench = append(res.Bench, prof.Name)
-		res.PerBench = append(res.PerBench, row)
+		res.PerBench = append(res.PerBench, rowsByBench[i])
+		for j, mr := range rowsByBench[i] {
+			sums[j] += mr
+		}
 	}
 	for _, s := range sums {
 		res.Avg = append(res.Avg, s/float64(len(res.Bench)))
 	}
-	return res
+	return res, nil
 }
 
 // Render prints the comparison matrix.
@@ -148,34 +174,60 @@ type StdDevResult struct {
 // RunStdDev measures per-benchmark 8 KB 2-way miss ratios under both
 // indexings and summarises their spread.
 func RunStdDev(o Options) StdDevResult {
+	res, _ := RunStdDevCtx(context.Background(), o)
+	return res
+}
+
+// RunStdDevCtx runs the spread study on the parallel engine, one job
+// per benchmark.
+func RunStdDevCtx(ctx context.Context, o Options) (StdDevResult, error) {
 	o = o.normalize()
 	var res StdDevResult
-	for _, prof := range workload.Suite() {
-		conv := cache.New(cache.Config{Size: 8 << 10, BlockSize: 32, Ways: 2, WriteAllocate: false})
-		ip := cache.New(cache.Config{
-			Size: 8 << 10, BlockSize: 32, Ways: 2,
-			Placement:     index.MustNew(index.SchemeIPolySk, setBits8K, 2, hashInBits),
-			WriteAllocate: false,
-		})
-		s := &trace.MemOnly{S: workload.Stream(prof, o.Seed)}
-		for i := uint64(0); i < o.Instructions; i++ {
-			r, ok := s.Next()
-			if !ok {
-				break
-			}
-			w := r.Op == trace.OpStore
-			conv.Access(r.Addr, w)
-			ip.Access(r.Addr, w)
-		}
+	suite := workload.Suite()
+	type pair struct{ conv, ipoly float64 }
+	jobs := make([]runner.JobOf[pair], len(suite))
+	for i, prof := range suite {
+		jobs[i] = runner.KeyedJob("missratio/stddev/"+prof.Name,
+			func(c *runner.Ctx) (pair, error) {
+				conv := cache.New(cache.Config{Size: 8 << 10, BlockSize: 32, Ways: 2, WriteAllocate: false})
+				ip := cache.New(cache.Config{
+					Size: 8 << 10, BlockSize: 32, Ways: 2,
+					Placement:     index.MustNew(index.SchemeIPolySk, setBits8K, 2, hashInBits),
+					WriteAllocate: false,
+				})
+				s := &trace.MemOnly{S: workload.Stream(prof, o.Seed)}
+				for i := uint64(0); i < o.Instructions; i++ {
+					if i&0x3FFF == 0 && c.Err() != nil {
+						return pair{}, c.Err()
+					}
+					r, ok := s.Next()
+					if !ok {
+						break
+					}
+					w := r.Op == trace.OpStore
+					conv.Access(r.Addr, w)
+					ip.Access(r.Addr, w)
+				}
+				return pair{
+					conv:  100 * conv.Stats().ReadMissRatio(),
+					ipoly: 100 * ip.Stats().ReadMissRatio(),
+				}, nil
+			})
+	}
+	pairs, err := runner.All(ctx, o.runnerOpts(), jobs)
+	if err != nil {
+		return res, err
+	}
+	for i, prof := range suite {
 		res.Bench = append(res.Bench, prof.Name)
-		res.ConvByBench = append(res.ConvByBench, 100*conv.Stats().ReadMissRatio())
-		res.IPolyByBench = append(res.IPolyByBench, 100*ip.Stats().ReadMissRatio())
+		res.ConvByBench = append(res.ConvByBench, pairs[i].conv)
+		res.IPolyByBench = append(res.IPolyByBench, pairs[i].ipoly)
 	}
 	res.ConvMean = stats.Mean(res.ConvByBench)
 	res.ConvStdDev = stats.StdDev(res.ConvByBench)
 	res.IPolyMean = stats.Mean(res.IPolyByBench)
 	res.IPolyStdDev = stats.StdDev(res.IPolyByBench)
-	return res
+	return res, nil
 }
 
 // Render prints the spread summary.

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/cpu"
 	"repro/internal/index"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -34,77 +36,136 @@ type Options31Result struct {
 
 // RunOptions31 evaluates the options on the high-conflict programs.
 func RunOptions31(o Options) Options31Result {
+	res, _ := RunOptions31Ctx(context.Background(), o)
+	return res
+}
+
+// RunOptions31Ctx runs the §3.1 option study on the parallel engine,
+// one job per (option, program) grid point.
+func RunOptions31Ctx(ctx context.Context, o Options) (Options31Result, error) {
 	o = o.normalize()
 	var res Options31Result
 
 	ipoly := index.MustNew(index.SchemeIPolySk, setBits8K, 2, hashInBits)
-	runIPC := func(cfg cpu.Config) float64 {
-		var ipcs []float64
-		for _, name := range workload.BadPrograms() {
-			prof, _ := workload.ByName(name)
-			r := cpu.New(cfg).Run(&trace.Limit{S: workload.Stream(prof, o.Seed), N: int(o.Instructions)}, o.Instructions)
-			ipcs = append(ipcs, r.IPC())
-		}
-		return stats.GeoMean(ipcs)
-	}
+	bad := workload.BadPrograms()
 
-	res.ConvIPC = runIPC(cpu.DefaultConfig(cpu.PaperCache(8<<10, nil)))
+	// Option grid 1: IPC-level simulations (baseline, option 1, option 3)
+	// plus the option-2 adaptive miss ratios — every job yields a single
+	// float64, sliced positionally per option below.  The grid-2
+	// column-associative jobs ride on the same pool run, so workers never
+	// idle between the two grids.
+	ipcJob := func(opt string, name string, cfg cpu.Config) runner.Job {
+		prof, _ := workload.ByName(name)
+		return runner.Job{
+			Key: "options31/" + opt + "/" + name,
+			Run: func(*runner.Ctx) (any, error) {
+				r := cpu.New(cfg).Run(&trace.Limit{S: workload.Stream(prof, o.Seed), N: int(o.Instructions)}, o.Instructions)
+				return r.IPC(), nil
+			}}
+	}
+	adaptiveJob := func(name string, largePages bool) runner.Job {
+		prof, _ := workload.ByName(name)
+		pages := "small"
+		if largePages {
+			pages = "large"
+		}
+		return runner.Job{
+			Key: "options31/adaptive-" + pages + "/" + name,
+			Run: func(c *runner.Ctx) (any, error) {
+				a := newAdaptiveForExperiment()
+				if largePages {
+					a.SetSegment("data", 256<<10)
+				} else {
+					a.SetSegment("data", 4<<10)
+				}
+				s := &trace.MemOnly{S: workload.Stream(prof, o.Seed)}
+				for i := uint64(0); i < o.Instructions; i++ {
+					if i&0x3FFF == 0 && c.Err() != nil {
+						return nil, c.Err()
+					}
+					r, ok := s.Next()
+					if !ok {
+						break
+					}
+					a.Access(r.Addr, r.Op == trace.OpStore)
+				}
+				st := a.Stats()
+				return 100 * stats.Ratio(st.ReadMisses, st.ReadHits+st.ReadMisses), nil
+			}}
+	}
 
 	opt1 := cpu.DefaultConfig(cpu.PaperCache(8<<10, ipoly))
 	opt1.ExtraLoadCycles = 1 // translation precedes lookup on every load
-	res.Option1IPC = runIPC(opt1)
-
-	res.Option3IPC = runIPC(cpu.DefaultConfig(cpu.PaperCache(8<<10, ipoly)))
-
-	// Option 2 at the miss-ratio level via the adaptive cache.
-	runAdaptive := func(largePages bool) float64 {
-		var ratios []float64
-		for _, name := range workload.BadPrograms() {
-			prof, _ := workload.ByName(name)
-			a := newAdaptiveForExperiment()
-			if largePages {
-				a.SetSegment("data", 256<<10)
-			} else {
-				a.SetSegment("data", 4<<10)
-			}
-			s := &trace.MemOnly{S: workload.Stream(prof, o.Seed)}
-			for i := uint64(0); i < o.Instructions; i++ {
-				r, ok := s.Next()
-				if !ok {
-					break
-				}
-				a.Access(r.Addr, r.Op == trace.OpStore)
-			}
-			st := a.Stats()
-			ratios = append(ratios, 100*stats.Ratio(st.ReadMisses, st.ReadHits+st.ReadMisses))
-		}
-		return stats.Mean(ratios)
+	var jobs []runner.Job
+	for _, name := range bad {
+		jobs = append(jobs, ipcJob("conv", name, cpu.DefaultConfig(cpu.PaperCache(8<<10, nil))))
 	}
-	res.Option2LargePagesMiss = runAdaptive(true)
-	res.Option2SmallPagesMiss = runAdaptive(false)
+	for _, name := range bad {
+		jobs = append(jobs, ipcJob("opt1-physindex", name, opt1))
+	}
+	for _, name := range bad {
+		jobs = append(jobs, ipcJob("opt3-virtualreal", name, cpu.DefaultConfig(cpu.PaperCache(8<<10, ipoly))))
+	}
+	for _, name := range bad {
+		jobs = append(jobs, adaptiveJob(name, true))
+	}
+	for _, name := range bad {
+		jobs = append(jobs, adaptiveJob(name, false))
+	}
 
-	// Option 4 vs plain direct-mapped, bad programs.
-	var col, dm []float64
-	for _, name := range workload.BadPrograms() {
+	// Option grid 2: column-associative vs direct-mapped, one job per
+	// program, both caches sharing one trace replay.
+	type caPair struct{ col, dm float64 }
+	for _, name := range bad {
 		prof, _ := workload.ByName(name)
-		ca := newColAssocForExperiment()
-		plain := newDMForExperiment()
-		s := &trace.MemOnly{S: workload.Stream(prof, o.Seed)}
-		for i := uint64(0); i < o.Instructions; i++ {
-			r, ok := s.Next()
-			if !ok {
-				break
-			}
-			w := r.Op == trace.OpStore
-			ca.Access(r.Addr, w)
-			plain.Access(r.Addr, w)
-		}
-		col = append(col, 100*ca.Stats().ReadMissRatio())
-		dm = append(dm, 100*plain.Stats().ReadMissRatio())
+		jobs = append(jobs, runner.Job{
+			Key: "options31/opt4-colassoc/" + name,
+			Run: func(c *runner.Ctx) (any, error) {
+				ca := newColAssocForExperiment()
+				plain := newDMForExperiment()
+				s := &trace.MemOnly{S: workload.Stream(prof, o.Seed)}
+				for i := uint64(0); i < o.Instructions; i++ {
+					if i&0x3FFF == 0 && c.Err() != nil {
+						return nil, c.Err()
+					}
+					r, ok := s.Next()
+					if !ok {
+						break
+					}
+					w := r.Op == trace.OpStore
+					ca.Access(r.Addr, w)
+					plain.Access(r.Addr, w)
+				}
+				return caPair{
+					col: 100 * ca.Stats().ReadMissRatio(),
+					dm:  100 * plain.Stats().ReadMissRatio(),
+				}, nil
+			}})
+	}
+
+	results, err := runner.Collect(ctx, o.runnerOpts(), jobs)
+	if err != nil {
+		return res, err
+	}
+	n := len(bad)
+	vals := make([]float64, 5*n)
+	for i := range vals {
+		vals[i] = results[i].Value.(float64)
+	}
+	res.ConvIPC = stats.GeoMean(vals[0:n])
+	res.Option1IPC = stats.GeoMean(vals[n : 2*n])
+	res.Option3IPC = stats.GeoMean(vals[2*n : 3*n])
+	res.Option2LargePagesMiss = stats.Mean(vals[3*n : 4*n])
+	res.Option2SmallPagesMiss = stats.Mean(vals[4*n : 5*n])
+	var col, dm []float64
+	for _, r := range results[5*n:] {
+		p := r.Value.(caPair)
+		col = append(col, p.col)
+		dm = append(dm, p.dm)
 	}
 	res.Option4Miss = stats.Mean(col)
 	res.DirectMappedMiss = stats.Mean(dm)
-	return res
+	return res, nil
 }
 
 // Render prints the comparison.

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// tiny returns options scaled for the cross-worker determinism tests,
+// which run every experiment several times.
+func tiny() Options {
+	return Options{Instructions: 8_000, Seed: 7, Fig1Rounds: 5, MaxStride: 300}
+}
+
+// asJSON canonicalises a result for byte-level comparison.
+func asJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestFig1ParallelMatchesSerial pins the runner-based Figure 1 sweep
+// against the retained serial driver: the engine must be a pure
+// performance change, never a results change.
+func TestFig1ParallelMatchesSerial(t *testing.T) {
+	o := tiny()
+	serial := asJSON(t, RunFig1Serial(o))
+	for _, workers := range []int{1, 4} {
+		o.Workers = workers
+		if got := asJSON(t, RunFig1(o)); got != serial {
+			t.Errorf("workers=%d: parallel result diverged from serial driver\n got %s\nwant %s",
+				workers, got, serial)
+		}
+	}
+}
+
+// TestExperimentsDeterministicAcrossWorkers runs every ported driver at
+// 1, 4 and 16 workers and requires byte-identical JSON.
+func TestExperimentsDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run determinism sweep")
+	}
+	drivers := map[string]func(Options) any{
+		"fig1":       func(o Options) any { return RunFig1(o) },
+		"table2":     func(o Options) any { return RunTable2(o) },
+		"holes":      func(o Options) any { return RunHoles(o) },
+		"missratio":  func(o Options) any { return RunOrgs(o) },
+		"stddev":     func(o Options) any { return RunStdDev(o) },
+		"colassoc":   func(o Options) any { return RunColAssoc(o) },
+		"options31":  func(o Options) any { return RunOptions31(o) },
+		"sweep":      func(o Options) any { return RunSweep(o) },
+		"threec":     func(o Options) any { return RunThreeC(o) },
+		"interleave": func(o Options) any { return RunInterleave(o) },
+		"ablate":     func(o Options) any { return RunAblate(o) },
+	}
+	for name, run := range drivers {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			o := tiny()
+			o.Workers = 1
+			golden := asJSON(t, run(o))
+			for _, workers := range []int{4, 16} {
+				o.Workers = workers
+				if got := asJSON(t, run(o)); got != golden {
+					t.Errorf("workers=%d output differs from workers=1", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestFig1Cancellation checks that a cancelled context aborts the sweep
+// quickly and surfaces the cancellation.
+func TestFig1Cancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o := Defaults()
+	o.Workers = 2
+	start := time.Now()
+	if _, err := RunFig1Ctx(ctx, o); err == nil {
+		t.Fatal("cancelled sweep returned no error")
+	}
+	// The full sweep takes seconds; a pre-cancelled one must be instant.
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("cancelled sweep still ran for %v", d)
+	}
+}

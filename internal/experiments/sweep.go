@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"strings"
 
 	"repro/internal/cache"
 	"repro/internal/index"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -28,50 +30,82 @@ type SweepResult struct {
 // RunSweep sweeps sizes {4,8,16,32} KB × ways {1,2,4} × schemes
 // {a2, a2-Hp-Sk} over the full suite.
 func RunSweep(o Options) SweepResult {
+	res, _ := RunSweepCtx(context.Background(), o)
+	return res
+}
+
+// RunSweepCtx runs the design-space sweep on the parallel engine, one
+// job per benchmark: each job collects its memory trace once and drives
+// it through every (size, ways, scheme) point, so the total work matches
+// the serial driver while the suite fans out across workers.
+func RunSweepCtx(ctx context.Context, o Options) (SweepResult, error) {
 	o = o.normalize()
 	res := SweepResult{
 		SizesKB: []int{4, 8, 16, 32},
 		Ways:    []int{1, 2, 4},
 		Schemes: []index.Scheme{index.SchemeModulo, index.SchemeIPolySk},
 	}
-
-	// Pre-collect memory traces once per benchmark to keep the sweep fast.
 	type memRef struct {
 		addr  uint64
 		write bool
 	}
-	var traces [][]memRef
-	for _, prof := range workload.Suite() {
-		s := &trace.MemOnly{S: workload.Stream(prof, o.Seed)}
-		var refs []memRef
-		for i := uint64(0); i < o.Instructions; i++ {
-			r, ok := s.Next()
-			if !ok {
-				break
-			}
-			refs = append(refs, memRef{r.Addr, r.Op == trace.OpStore})
-		}
-		traces = append(traces, refs)
-	}
-
-	for _, sizeKB := range res.SizesKB {
-		var perWays [][]float64
-		for _, ways := range res.Ways {
-			var perScheme []float64
-			for _, scheme := range res.Schemes {
-				sets := sizeKB << 10 / 32 / ways
-				setBits := bits.TrailingZeros(uint(sets))
-				place := index.MustNew(scheme, setBits, ways, hashInBits)
-				var ratios []float64
-				for _, refs := range traces {
-					c := cache.New(cache.Config{
-						Size: sizeKB << 10, BlockSize: 32, Ways: ways,
-						Placement: place, WriteAllocate: false,
-					})
-					for _, m := range refs {
-						c.Access(m.addr, m.write)
+	suite := workload.Suite()
+	// benchGrid[s][w][k] is one benchmark's read miss % per design point.
+	type benchGrid [][][]float64
+	jobs := make([]runner.JobOf[benchGrid], len(suite))
+	for i, prof := range suite {
+		jobs[i] = runner.KeyedJob("sweep/"+prof.Name,
+			func(c *runner.Ctx) (benchGrid, error) {
+				s := &trace.MemOnly{S: workload.Stream(prof, o.Seed)}
+				var refs []memRef
+				for i := uint64(0); i < o.Instructions; i++ {
+					if i&0x3FFF == 0 && c.Err() != nil {
+						return nil, c.Err()
 					}
-					ratios = append(ratios, 100*c.Stats().ReadMissRatio())
+					r, ok := s.Next()
+					if !ok {
+						break
+					}
+					refs = append(refs, memRef{r.Addr, r.Op == trace.OpStore})
+				}
+				grid := make(benchGrid, len(res.SizesKB))
+				for si, sizeKB := range res.SizesKB {
+					grid[si] = make([][]float64, len(res.Ways))
+					for wi, ways := range res.Ways {
+						grid[si][wi] = make([]float64, len(res.Schemes))
+						for ki, scheme := range res.Schemes {
+							if c.Err() != nil {
+								return nil, c.Err()
+							}
+							sets := sizeKB << 10 / 32 / ways
+							setBits := bits.TrailingZeros(uint(sets))
+							place := index.MustNew(scheme, setBits, ways, hashInBits)
+							cc := cache.New(cache.Config{
+								Size: sizeKB << 10, BlockSize: 32, Ways: ways,
+								Placement: place, WriteAllocate: false,
+							})
+							for _, m := range refs {
+								cc.Access(m.addr, m.write)
+							}
+							grid[si][wi][ki] = 100 * cc.Stats().ReadMissRatio()
+						}
+					}
+				}
+				return grid, nil
+			})
+	}
+	grids, err := runner.All(ctx, o.runnerOpts(), jobs)
+	if err != nil {
+		return res, err
+	}
+	for si := range res.SizesKB {
+		var perWays [][]float64
+		for wi := range res.Ways {
+			var perScheme []float64
+			for ki := range res.Schemes {
+				ratios := make([]float64, len(grids))
+				for b, g := range grids {
+					ratios[b] = g[si][wi][ki]
 				}
 				perScheme = append(perScheme, stats.Mean(ratios))
 			}
@@ -79,7 +113,7 @@ func RunSweep(o Options) SweepResult {
 		}
 		res.Miss = append(res.Miss, perWays)
 	}
-	return res
+	return res, nil
 }
 
 // At returns the average miss % for a design point.

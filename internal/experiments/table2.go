@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
 	"strings"
-	"sync"
 
 	"repro/internal/cpu"
 	"repro/internal/index"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -60,45 +62,70 @@ func table2Configs() map[string]cpu.Config {
 	return cfgs
 }
 
+// table2ConfigOrder is the fixed column order of Table 2's six
+// processor/cache configurations (also the job-production order).
+func table2ConfigOrder() []string {
+	return []string{"c16", "c8", "c8pred", "ipoly", "incp", "incp+pred"}
+}
+
+// t2Cell is one (benchmark, configuration) simulation outcome.
+type t2Cell struct {
+	ipc, miss float64
+}
+
 // RunTable2 simulates every benchmark under every configuration.
-// Benchmarks run in parallel (each simulation owns its state; the shared
-// placement functions are immutable after construction), and the rows
-// come back in suite order so the output is deterministic.
 func RunTable2(o Options) Table2Result {
+	res, _ := RunTable2Ctx(context.Background(), o)
+	return res
+}
+
+// RunTable2Ctx runs the 18-benchmark × 6-configuration grid on the
+// parallel engine, one job per grid cell (each simulation owns its
+// state; the shared placement functions are immutable after
+// construction).  Rows come back in suite order so the output is
+// deterministic at any worker count.
+func RunTable2Ctx(ctx context.Context, o Options) (Table2Result, error) {
 	o = o.normalize()
 	cfgs := table2Configs()
+	cfgOrder := table2ConfigOrder()
 	suite := workload.Suite()
-	rows := make([]Table2Row, len(suite))
-	var wg sync.WaitGroup
-	for i, prof := range suite {
-		wg.Add(1)
-		go func(i int, prof workload.Profile) {
-			defer wg.Done()
-			row := Table2Row{Name: prof.Name, FP: prof.FP, Bad: prof.Bad}
-			run := func(key string) cpu.Result {
-				core := cpu.New(cfgs[key])
-				s := &trace.Limit{S: workload.Stream(prof, o.Seed), N: int(o.Instructions)}
-				return core.Run(s, o.Instructions)
-			}
-			r := run("c16")
-			row.C16IPC, row.C16Miss = r.IPC(), 100*r.MissRatio()
-			r = run("c8")
-			row.C8IPC, row.C8Miss = r.IPC(), 100*r.MissRatio()
-			row.C8PredIPC = run("c8pred").IPC()
-			r = run("ipoly")
-			row.IPolyIPC, row.IPolyMiss = r.IPC(), 100*r.MissRatio()
-			row.InCPIPC = run("incp").IPC()
-			row.InCPPredIPC = run("incp+pred").IPC()
-			rows[i] = row
-		}(i, prof)
+
+	var jobs []runner.JobOf[t2Cell]
+	for _, prof := range suite {
+		for _, key := range cfgOrder {
+			cfg := cfgs[key]
+			jobs = append(jobs, runner.KeyedJob(
+				fmt.Sprintf("table2/%s/%s", prof.Name, key),
+				func(*runner.Ctx) (t2Cell, error) {
+					s := &trace.Limit{S: workload.Stream(prof, o.Seed), N: int(o.Instructions)}
+					r := cpu.New(cfg).Run(s, o.Instructions)
+					return t2Cell{ipc: r.IPC(), miss: 100 * r.MissRatio()}, nil
+				}))
+		}
 	}
-	wg.Wait()
 	var res Table2Result
+	cells, err := runner.All(ctx, o.runnerOpts(), jobs)
+	if err != nil {
+		return res, err
+	}
+	rows := make([]Table2Row, len(suite))
+	for i, prof := range suite {
+		c := cells[i*len(cfgOrder) : (i+1)*len(cfgOrder)]
+		rows[i] = Table2Row{
+			Name: prof.Name, FP: prof.FP, Bad: prof.Bad,
+			C16IPC: c[0].ipc, C16Miss: c[0].miss,
+			C8IPC: c[1].ipc, C8Miss: c[1].miss,
+			C8PredIPC: c[2].ipc,
+			IPolyIPC:  c[3].ipc, IPolyMiss: c[3].miss,
+			InCPIPC:     c[4].ipc,
+			InCPPredIPC: c[5].ipc,
+		}
+	}
 	res.Rows = rows
 	res.IntAvg = average("Int average", res.Rows, func(r Table2Row) bool { return !r.FP })
 	res.FPAvg = average("Fp average", res.Rows, func(r Table2Row) bool { return r.FP })
 	res.Combined = average("Combined", res.Rows, func(Table2Row) bool { return true })
-	return res
+	return res, nil
 }
 
 // average computes the paper-style average row over rows passing keep:
@@ -178,6 +205,15 @@ type Table3Result struct {
 // re-presentation of the same simulations).
 func RunTable3(o Options) Table3Result {
 	return DeriveTable3(RunTable2(o))
+}
+
+// RunTable3Ctx is RunTable3 on the parallel engine with cancellation.
+func RunTable3Ctx(ctx context.Context, o Options) (Table3Result, error) {
+	t2, err := RunTable2Ctx(ctx, o)
+	if err != nil {
+		return Table3Result{}, err
+	}
+	return DeriveTable3(t2), nil
 }
 
 // DeriveTable3 splits an existing Table 2 result into the Table 3 view.

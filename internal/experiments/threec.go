@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/cache"
 	"repro/internal/index"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -37,61 +39,86 @@ type ThreeCResult struct {
 // RunThreeC classifies every miss of every benchmark under both
 // indexings (8 KB, 2-way, 32 B lines).
 func RunThreeC(o Options) ThreeCResult {
+	res, _ := RunThreeCCtx(context.Background(), o)
+	return res
+}
+
+// threeCBench classifies one benchmark's loads under one placement.
+func threeCBench(ctx context.Context, o Options, prof workload.Profile, place index.Placement) (ThreeCRow, error) {
+	c := cache.New(cache.Config{
+		Size: 8 << 10, BlockSize: 32, Ways: 2,
+		Placement: place, WriteAllocate: false,
+	})
+	cl := cache.NewClassifier(256)
+	s := &trace.MemOnly{S: workload.Stream(prof, o.Seed)}
+	loads := uint64(0)
+	var brk cache.MissBreakdown
+	for i := uint64(0); i < o.Instructions; i++ {
+		if i&0x3FFF == 0 && ctx.Err() != nil {
+			return ThreeCRow{}, ctx.Err()
+		}
+		r, ok := s.Next()
+		if !ok {
+			break
+		}
+		write := r.Op == trace.OpStore
+		hit := c.Access(r.Addr, write).Hit
+		if write {
+			// Stores are write-through/no-allocate; classify loads
+			// only, as the paper's tables report load misses.
+			continue
+		}
+		loads++
+		if kind, missed := cl.Observe(c.Block(r.Addr), !hit); missed {
+			switch kind {
+			case cache.MissCompulsory:
+				brk.Compulsory++
+			case cache.MissCapacity:
+				brk.Capacity++
+			case cache.MissConflict:
+				brk.Conflict++
+			}
+		}
+	}
+	pct := func(n uint64) float64 {
+		if loads == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(loads)
+	}
+	return ThreeCRow{
+		Name: prof.Name, Bad: prof.Bad,
+		Compulsory: pct(brk.Compulsory),
+		Capacity:   pct(brk.Capacity),
+		Conflict:   pct(brk.Conflict),
+	}, nil
+}
+
+// RunThreeCCtx runs the classification on the parallel engine, one job
+// per (indexing, benchmark) pair.
+func RunThreeCCtx(ctx context.Context, o Options) (ThreeCResult, error) {
 	o = o.normalize()
 	var res ThreeCResult
-	run := func(place index.Placement) []ThreeCRow {
-		var rows []ThreeCRow
-		for _, prof := range workload.Suite() {
-			c := cache.New(cache.Config{
-				Size: 8 << 10, BlockSize: 32, Ways: 2,
-				Placement: place, WriteAllocate: false,
-			})
-			cl := cache.NewClassifier(256)
-			s := &trace.MemOnly{S: workload.Stream(prof, o.Seed)}
-			loads := uint64(0)
-			var brk cache.MissBreakdown
-			for i := uint64(0); i < o.Instructions; i++ {
-				r, ok := s.Next()
-				if !ok {
-					break
-				}
-				write := r.Op == trace.OpStore
-				hit := c.Access(r.Addr, write).Hit
-				if write {
-					// Stores are write-through/no-allocate; classify loads
-					// only, as the paper's tables report load misses.
-					continue
-				}
-				loads++
-				if kind, missed := cl.Observe(c.Block(r.Addr), !hit); missed {
-					switch kind {
-					case cache.MissCompulsory:
-						brk.Compulsory++
-					case cache.MissCapacity:
-						brk.Capacity++
-					case cache.MissConflict:
-						brk.Conflict++
-					}
-				}
-			}
-			pct := func(n uint64) float64 {
-				if loads == 0 {
-					return 0
-				}
-				return 100 * float64(n) / float64(loads)
-			}
-			rows = append(rows, ThreeCRow{
-				Name: prof.Name, Bad: prof.Bad,
-				Compulsory: pct(brk.Compulsory),
-				Capacity:   pct(brk.Capacity),
-				Conflict:   pct(brk.Conflict),
-			})
+	suite := workload.Suite()
+	schemes := []index.Scheme{index.SchemeModulo, index.SchemeIPolySk}
+	var jobs []runner.JobOf[ThreeCRow]
+	for _, scheme := range schemes {
+		place := index.MustNew(scheme, setBits8K, 2, hashInBits)
+		for _, prof := range suite {
+			jobs = append(jobs, runner.KeyedJob(
+				fmt.Sprintf("threec/%s/%s", scheme, prof.Name),
+				func(c *runner.Ctx) (ThreeCRow, error) {
+					return threeCBench(c, o, prof, place)
+				}))
 		}
-		return rows
 	}
-	res.Conventional = run(index.MustNew(index.SchemeModulo, setBits8K, 2, hashInBits))
-	res.IPoly = run(index.MustNew(index.SchemeIPolySk, setBits8K, 2, hashInBits))
-	return res
+	rows, err := runner.All(ctx, o.runnerOpts(), jobs)
+	if err != nil {
+		return res, err
+	}
+	res.Conventional = rows[:len(suite)]
+	res.IPoly = rows[len(suite):]
+	return res, nil
 }
 
 // Render prints the side-by-side breakdown.

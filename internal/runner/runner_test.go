@@ -1,0 +1,183 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// rngJobs builds n jobs whose values depend only on the job's derived
+// RNG stream, so any scheduling sensitivity shows up as a value change.
+func rngJobs(n int) []JobOf[uint64] {
+	jobs := make([]JobOf[uint64], n)
+	for i := 0; i < n; i++ {
+		jobs[i] = KeyedJob(fmt.Sprintf("job/%d", i), func(c *Ctx) (uint64, error) {
+			v := c.Seed
+			for k := 0; k < 100; k++ {
+				v ^= c.RNG().Uint64()
+			}
+			return v, nil
+		})
+	}
+	return jobs
+}
+
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	jobs := rngJobs(64)
+	var golden []uint64
+	for _, workers := range []int{1, 4, 16} {
+		got, err := All(context.Background(), Options{Workers: workers, Seed: 1997}, jobs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if golden == nil {
+			golden = got
+			continue
+		}
+		for i := range got {
+			if got[i] != golden[i] {
+				t.Fatalf("workers=%d: job %d = %#x, want %#x (scheduling leaked into results)",
+					workers, i, got[i], golden[i])
+			}
+		}
+	}
+}
+
+func TestSeedChangesResults(t *testing.T) {
+	jobs := rngJobs(8)
+	a, _ := All(context.Background(), Options{Seed: 1}, jobs)
+	b, _ := All(context.Background(), Options{Seed: 2}, jobs)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different base seeds produced identical job streams")
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	if DeriveSeed(1, "a") == DeriveSeed(1, "b") {
+		t.Error("distinct keys collided")
+	}
+	if DeriveSeed(1, "a") == DeriveSeed(2, "a") {
+		t.Error("distinct base seeds collided")
+	}
+	if DeriveSeed(7, "fig1/0") != DeriveSeed(7, "fig1/0") {
+		t.Error("derivation is not stable")
+	}
+}
+
+func TestResultsStreamInJobOrder(t *testing.T) {
+	// Jobs finish in reverse order (later jobs are faster), yet the
+	// collector must still observe them in job order.
+	const n = 8
+	jobs := make([]Job, n)
+	for i := 0; i < n; i++ {
+		d := time.Duration(n-i) * 2 * time.Millisecond
+		jobs[i] = Job{Key: fmt.Sprintf("rev/%d", i), Run: func(*Ctx) (any, error) {
+			time.Sleep(d)
+			return nil, nil
+		}}
+	}
+	var order []int
+	err := Run(context.Background(), Options{Workers: n}, jobs, func(r Result) {
+		order = append(order, r.Index)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != n {
+		t.Fatalf("delivered %d results, want %d", len(order), n)
+	}
+	for i, idx := range order {
+		if idx != i {
+			t.Fatalf("delivery order %v is not job order", order)
+		}
+	}
+}
+
+func TestCancellationStopsPoolPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 64)
+	jobs := make([]Job, 64)
+	for i := range jobs {
+		jobs[i] = Job{Key: fmt.Sprintf("block/%d", i), Run: func(c *Ctx) (any, error) {
+			started <- struct{}{}
+			<-c.Done() // a well-behaved long job aborts on cancel
+			return nil, c.Err()
+		}}
+	}
+	done := make(chan error, 1)
+	go func() { done <- Run(ctx, Options{Workers: 4}, jobs, nil) }()
+	// Wait for the pool to be saturated, then cancel.
+	for i := 0; i < 4; i++ {
+		<-started
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pool did not stop within 2s of cancellation")
+	}
+	// Only the in-flight jobs may have started; the other 60 must never
+	// have been dispatched.
+	if n := len(started); n > 8 {
+		t.Fatalf("%d extra jobs dispatched after cancellation", n)
+	}
+}
+
+func TestFirstErrorInJobOrderWins(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	jobs := []Job{
+		{Key: "ok", Run: func(*Ctx) (any, error) { return 1, nil }},
+		{Key: "slow-fail", Run: func(*Ctx) (any, error) {
+			time.Sleep(20 * time.Millisecond)
+			return nil, errA
+		}},
+		{Key: "fast-fail", Run: func(*Ctx) (any, error) { return nil, errB }},
+	}
+	err := Run(context.Background(), Options{Workers: 3}, jobs, nil)
+	if !errors.Is(err, errA) {
+		t.Fatalf("got %v, want the job-order-first error %v", err, errA)
+	}
+}
+
+func TestCollectOrdersValues(t *testing.T) {
+	jobs := make([]Job, 10)
+	for i := range jobs {
+		jobs[i] = Job{Key: fmt.Sprintf("v/%d", i), Run: func(*Ctx) (any, error) { return i, nil }}
+	}
+	res, err := Collect(context.Background(), Options{Workers: 4}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Index != i || r.Value.(int) != i {
+			t.Fatalf("result %d = %+v", i, r)
+		}
+	}
+}
+
+func TestEmptyJobs(t *testing.T) {
+	if err := Run(context.Background(), Options{}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultWorkerCount(t *testing.T) {
+	if (Options{}).workers() < 1 {
+		t.Fatal("default worker count must be positive")
+	}
+	if (Options{Workers: 3}).workers() != 3 {
+		t.Fatal("explicit worker count ignored")
+	}
+}

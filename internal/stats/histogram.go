@@ -40,6 +40,19 @@ func (h *Histogram) Add(x float64) {
 	h.bins[i]++
 }
 
+// Merge adds o's counts into h.  It panics if the histograms have a
+// different number of bins.  Merging partial histograms produced by
+// parallel sweep jobs is exact: bin counts are integers, so the merged
+// histogram is identical to one filled serially.
+func (h *Histogram) Merge(o *Histogram) {
+	if len(h.bins) != len(o.bins) {
+		panic("stats: merging histograms with different bin counts")
+	}
+	for i, c := range o.bins {
+		h.bins[i] += c
+	}
+}
+
 // Bins returns a copy of the per-bin counts.
 func (h *Histogram) Bins() []int { return append([]int(nil), h.bins...) }
 
