@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke lint ci
+.PHONY: build test race bench bench-smoke bench-cache lint ci
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,17 @@ bench:
 # The CI smoke run: one iteration of the runner benchmark.
 bench-smoke:
 	$(GO) test -run '^$$' -bench BenchmarkRunner -benchtime 1x .
+
+# Cache/hierarchy engine benchmarks.  Results land in
+# BENCH_cache.current.json (gitignored); the committed BENCH_cache.json
+# is the curated pre/post-refactor baseline record and is never
+# overwritten.  CI runs the same recipe and uploads its copy as an
+# artifact so the perf trajectory is tracked per PR.  The intermediate
+# file (rather than a pipe) keeps go test failures fatal.
+bench-cache:
+	$(GO) test -run '^$$' -bench 'BenchmarkCacheAccess|BenchmarkCacheAccessStream|BenchmarkHierarchy' -benchtime 1s . > bench_cache.txt
+	$(GO) run ./cmd/benchjson < bench_cache.txt > BENCH_cache.current.json
+	@cat BENCH_cache.current.json
 
 lint:
 	$(GO) vet ./...

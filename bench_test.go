@@ -18,7 +18,9 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/experiments"
 	"repro/internal/gf2"
+	"repro/internal/hierarchy"
 	"repro/internal/index"
+	"repro/internal/rng"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -251,6 +253,50 @@ func BenchmarkCacheAccess(b *testing.B) {
 				c.Access(uint64(i)*64, false)
 			}
 		})
+	}
+}
+
+// BenchmarkCacheAccessStream measures the batched trace-replay path on
+// the Figure-1 sweep shape: one AccessStream call over a materialized
+// record buffer per iteration batch.
+func BenchmarkCacheAccessStream(b *testing.B) {
+	recs := make([]trace.Rec, 4096)
+	for i := range recs {
+		recs[i] = trace.Rec{Op: trace.OpLoad, Addr: uint64(i) * 64}
+	}
+	for _, scheme := range index.AllSchemes() {
+		place := index.MustNew(scheme, 7, 2, 14)
+		b.Run(string(scheme), func(b *testing.B) {
+			c := cache.New(cache.Config{
+				Size: 8 << 10, BlockSize: 32, Ways: 2,
+				Placement: place, WriteAllocate: false,
+			})
+			for i := 0; i < b.N; i += len(recs) {
+				c.AccessStream(recs)
+			}
+		})
+	}
+}
+
+// BenchmarkHierarchy measures the two-level virtual-real hierarchy's
+// per-access cost on a thrashing random workload (the §3.3 hole-study
+// shape: small L2 so inclusion invalidations fire constantly).
+func BenchmarkHierarchy(b *testing.B) {
+	h := hierarchy.New(hierarchy.Config{
+		L1: cache.Config{
+			Size: 8 << 10, BlockSize: 32, Ways: 2,
+			Placement:     index.NewIPolyDefault(2, 7, 19),
+			WriteAllocate: false,
+		},
+		L2: cache.Config{
+			Size: 64 << 10, BlockSize: 32, Ways: 2,
+			WriteBack: true, WriteAllocate: true,
+		},
+	})
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(uint64(r.Intn(1<<20)), false)
 	}
 }
 

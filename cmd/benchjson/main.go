@@ -1,0 +1,105 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON document on stdout, so CI can archive benchmark
+// results (BENCH_cache.json) and track the perf trajectory per PR.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'CacheAccess|Hierarchy' . | go run ./cmd/benchjson > BENCH_cache.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations uint64             `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the whole document.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	rep := Report{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBench(line); ok {
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench decodes one result line of the form
+//
+//	BenchmarkName-8  1000  123.4 ns/op  5.6 custom-metric  0 B/op
+func parseBench(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 2 {
+		return Benchmark{}, false
+	}
+	name := f[0]
+	// Strip the -GOMAXPROCS suffix.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseUint(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(f); i += 2 {
+		val, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			continue
+		}
+		unit := f[i+1]
+		if unit == "ns/op" {
+			b.NsPerOp = val
+		} else {
+			b.Metrics[unit] = val
+		}
+	}
+	if len(b.Metrics) == 0 {
+		b.Metrics = nil
+	}
+	return b, true
+}

@@ -8,14 +8,25 @@
 // evictions and write traffic, but hold no data.  Timing is layered on
 // top by the CPU model (package cpu) and the MSHR/bus models (package
 // mshr).
+//
+// The access engine is allocation-free and layout-optimized: lines live
+// in one flat set-major slice (all ways of a set contiguous, so a
+// non-skewed lookup is a single cache-friendly scan), the placement
+// function is devirtualized at construction into monomorphic fast paths
+// for the concrete families (modulo, XOR-fold, I-Poly, single-set), and
+// lookup and fill are fused so set indices are computed exactly once per
+// access.  The index.Placement interface is consulted only at New (and
+// as a fallback for placement implementations outside this repo).
 package cache
 
 import (
 	"fmt"
 	"math/bits"
 
+	"repro/internal/gf2"
 	"repro/internal/index"
 	"repro/internal/rng"
+	"repro/internal/trace"
 )
 
 // ReplPolicy selects a replacement policy.
@@ -151,6 +162,17 @@ type Result struct {
 	EvictedDirty bool
 }
 
+// placeKind tags the monomorphic placement fast path resolved at New.
+type placeKind uint8
+
+const (
+	pkGeneric placeKind = iota // interface dispatch (external implementations)
+	pkModulo                   // block & mask
+	pkXorFold                  // lo ^ rotl(hi, way) fold
+	pkIPoly                    // per-way GF(2) bit matrix
+	pkSingle                   // fully-associative single set
+)
+
 // Cache is a set-associative cache with a pluggable placement function.
 // It is not safe for concurrent use.
 type Cache struct {
@@ -159,8 +181,23 @@ type Cache struct {
 	sets    int
 	ways    int
 	offBits int
-	// lines[w][s] is the line in way w at set s.
-	lines [][]line
+
+	// Devirtualized placement state (see resolvePlacement).
+	kind     placeKind
+	skewed   bool
+	setMask  uint64           // pkModulo
+	foldBits uint             // pkXorFold: field width m
+	foldMask uint64           // pkXorFold
+	foldSkew bool             // pkXorFold
+	mats     []*gf2.BitMatrix // pkIPoly: one matrix per way
+
+	// lines is the flat set-major line store: way w of set s lives at
+	// lines[int(s)*ways + w], so all candidate ways of a non-skewed
+	// access are contiguous in memory.
+	lines []line
+	// setScratch holds the per-way set indices of the current skewed
+	// access, computed once and reused by lookup, victim choice and fill.
+	setScratch []uint64
 	// plruBits[s] holds tree-PLRU state for set s (non-skewed only).
 	plruBits []uint64
 	clock    uint64
@@ -168,8 +205,9 @@ type Cache struct {
 	stats    Stats
 
 	// OnEvict, if non-nil, is called with the block address whenever a
-	// valid line is evicted or invalidated.  The hierarchy package uses
-	// it to enforce Inclusion (§3.2).
+	// valid line is evicted by a fill.  The hierarchy package uses it to
+	// keep reverse residency state in sync (§3.2).  The callback must not
+	// re-enter the cache it is attached to.
 	OnEvict func(block uint64, dirty bool)
 }
 
@@ -201,9 +239,10 @@ func New(cfg Config) *Cache {
 		offBits: bits.TrailingZeros(uint(cfg.BlockSize)),
 		rnd:     rng.New(cfg.Seed ^ 0xCAFE),
 	}
-	c.lines = make([][]line, c.ways)
-	for w := range c.lines {
-		c.lines[w] = make([]line, sets)
+	c.resolvePlacement()
+	c.lines = make([]line, sets*cfg.Ways)
+	if c.skewed {
+		c.setScratch = make([]uint64, cfg.Ways)
 	}
 	if cfg.Replacement == PLRU {
 		c.plruBits = make([]uint64, sets)
@@ -211,11 +250,68 @@ func New(cfg Config) *Cache {
 	return c
 }
 
+// resolvePlacement devirtualizes the placement interface into one of the
+// monomorphic fast paths.  Unknown implementations keep the (correct but
+// slower) interface-dispatch path.
+func (c *Cache) resolvePlacement() {
+	c.skewed = c.place.Skewed()
+	switch p := c.place.(type) {
+	case *index.Modulo:
+		c.kind = pkModulo
+		c.setMask = uint64(c.sets - 1)
+	case *index.XORFold:
+		c.kind = pkXorFold
+		c.foldBits = uint(p.Bits())
+		c.foldMask = 1<<c.foldBits - 1
+		c.foldSkew = p.Skewed()
+	case *index.IPoly:
+		c.kind = pkIPoly
+		c.mats = make([]*gf2.BitMatrix, c.ways)
+		for w := 0; w < c.ways; w++ {
+			c.mats[w] = p.Matrix(w)
+		}
+	case index.Single:
+		c.kind = pkSingle
+	default:
+		c.kind = pkGeneric
+	}
+}
+
+// setIndex computes the set index for block in way w through the
+// devirtualized fast path.
+func (c *Cache) setIndex(block uint64, w int) uint64 {
+	switch c.kind {
+	case pkModulo:
+		return block & c.setMask
+	case pkXorFold:
+		lo := block & c.foldMask
+		hi := (block >> c.foldBits) & c.foldMask
+		if c.foldSkew && w > 0 {
+			if k := uint(w) % c.foldBits; k != 0 {
+				hi = ((hi << k) | (hi >> (c.foldBits - k))) & c.foldMask
+			}
+		}
+		return lo ^ hi
+	case pkIPoly:
+		return c.mats[w].Apply(block)
+	case pkSingle:
+		return 0
+	default:
+		return c.place.SetIndex(block, w)
+	}
+}
+
 // Config returns the configuration the cache was built with.
 func (c *Cache) Config() Config { return c.cfg }
 
 // Placement returns the placement function in use.
 func (c *Cache) Placement() index.Placement { return c.place }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
 
 // Stats returns a copy of the accumulated statistics.
 func (c *Cache) Stats() Stats { return c.stats }
@@ -232,38 +328,243 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 	return c.AccessBlock(c.Block(addr), write)
 }
 
-// AccessBlock is Access for a pre-computed block address.
+// AccessBlock is Access for a pre-computed block address.  Lookup and
+// fill are fused: set indices are computed once and shared by the hit
+// scan, victim choice and line installation.
 func (c *Cache) AccessBlock(block uint64, write bool) Result {
 	c.clock++
 	c.stats.Accesses++
-	if w, s, ok := c.lookup(block); ok {
-		c.stats.Hits++
-		if write {
-			c.stats.WriteHits++
-			if c.cfg.WriteBack {
-				c.lines[w][s].dirty = true
-			}
-		} else {
-			c.stats.ReadHits++
-		}
-		c.touch(w, s)
-		return Result{Hit: true, Set: s, Way: w}
+	if c.skewed {
+		return c.accessSkewed(block, write)
 	}
+	return c.accessUniform(block, write)
+}
+
+// accessUniform is the fused access path for non-skewed placements: one
+// index computation, then a contiguous scan of the set's ways.
+func (c *Cache) accessUniform(block uint64, write bool) Result {
+	s := c.setIndex(block, 0)
+	base := int(s) * c.ways
+	set := c.lines[base : base+c.ways]
+	for w := range set {
+		ln := &set[w]
+		if ln.valid && ln.block == block {
+			c.hitStats(write)
+			if write && c.cfg.WriteBack {
+				ln.dirty = true
+			}
+			ln.lastUse = c.clock
+			if c.plruBits != nil {
+				c.plruTouch(s, w)
+			}
+			return Result{Hit: true, Set: s, Way: w}
+		}
+	}
+	c.missStats(write)
+	if write && !c.cfg.WriteAllocate {
+		// Write-through non-allocating store miss: no fill.
+		return Result{Hit: false}
+	}
+	w := c.victimWayUniform(s, set)
+	res := c.install(w, s, &set[w], block)
+	if write && c.cfg.WriteBack {
+		set[w].dirty = true
+	}
+	return res
+}
+
+// accessSkewed is the fused access path for skewed placements: each
+// per-way index is computed at most once — lazily during the hit scan
+// (a hit at way w never pays for ways beyond it) and recorded into
+// setScratch so the victim choice and fill of a miss reuse them.
+func (c *Cache) accessSkewed(block uint64, write bool) Result {
+	idx := c.setScratch
+	for w := 0; w < c.ways; w++ {
+		s := c.setIndex(block, w)
+		idx[w] = s
+		ln := &c.lines[int(s)*c.ways+w]
+		if ln.valid && ln.block == block {
+			c.hitStats(write)
+			if write && c.cfg.WriteBack {
+				ln.dirty = true
+			}
+			ln.lastUse = c.clock
+			return Result{Hit: true, Set: s, Way: w}
+		}
+	}
+	c.missStats(write)
+	if write && !c.cfg.WriteAllocate {
+		return Result{Hit: false}
+	}
+	w := c.victimWaySkewed(idx)
+	s := idx[w]
+	res := c.install(w, s, &c.lines[int(s)*c.ways+w], block)
+	if write && c.cfg.WriteBack {
+		c.lines[int(s)*c.ways+w].dirty = true
+	}
+	return res
+}
+
+func (c *Cache) hitStats(write bool) {
+	c.stats.Hits++
+	if write {
+		c.stats.WriteHits++
+	} else {
+		c.stats.ReadHits++
+	}
+}
+
+func (c *Cache) missStats(write bool) {
 	c.stats.Misses++
 	if write {
 		c.stats.WriteMiss++
 	} else {
 		c.stats.ReadMisses++
 	}
-	if write && !c.cfg.WriteAllocate {
-		// Write-through non-allocating store miss: no fill.
-		return Result{Hit: false}
+}
+
+// install evicts ln's occupant (if valid) and installs block, updating
+// eviction statistics, the OnEvict hook and recency state.
+func (c *Cache) install(w int, s uint64, ln *line, block uint64) Result {
+	res := Result{Set: s, Way: w, Filled: true}
+	if ln.valid {
+		res.Evicted = ln.block
+		res.EvictedValid = true
+		res.EvictedDirty = ln.dirty
+		c.stats.Evictions++
+		if ln.dirty {
+			c.stats.Writebacks++
+		}
+		if c.OnEvict != nil {
+			c.OnEvict(ln.block, ln.dirty)
+		}
 	}
-	res := c.fill(block)
-	if write && c.cfg.WriteBack {
-		c.lines[res.Way][res.Set].dirty = true
+	*ln = line{block: block, valid: true, lastUse: c.clock, inserted: c.clock}
+	c.stats.Fills++
+	if c.plruBits != nil {
+		c.plruTouch(s, w)
 	}
 	return res
+}
+
+// victimWayUniform picks the way to fill within the contiguous set slice.
+// Invalid ways are preferred in ascending way order, matching the
+// policy-independent behaviour documented for victim selection.
+func (c *Cache) victimWayUniform(s uint64, set []line) int {
+	for w := range set {
+		if !set[w].valid {
+			return w
+		}
+	}
+	switch c.cfg.Replacement {
+	case FIFO:
+		best, bestAge := 0, ^uint64(0)
+		for w := range set {
+			if t := set[w].inserted; t < bestAge {
+				best, bestAge = w, t
+			}
+		}
+		return best
+	case Random:
+		return c.rnd.Intn(c.ways)
+	case PLRU:
+		return c.plruVictim(s)
+	default: // LRU
+		best, bestAge := 0, ^uint64(0)
+		for w := range set {
+			if t := set[w].lastUse; t < bestAge {
+				best, bestAge = w, t
+			}
+		}
+		return best
+	}
+}
+
+// victimWaySkewed picks the way to fill given the per-way indices of the
+// current access.
+func (c *Cache) victimWaySkewed(idx []uint64) int {
+	for w := 0; w < c.ways; w++ {
+		if !c.lines[int(idx[w])*c.ways+w].valid {
+			return w
+		}
+	}
+	switch c.cfg.Replacement {
+	case FIFO:
+		best, bestAge := 0, ^uint64(0)
+		for w := 0; w < c.ways; w++ {
+			if t := c.lines[int(idx[w])*c.ways+w].inserted; t < bestAge {
+				best, bestAge = w, t
+			}
+		}
+		return best
+	case Random:
+		return c.rnd.Intn(c.ways)
+	default: // LRU (PLRU is rejected for skewed placements at New)
+		best, bestAge := 0, ^uint64(0)
+		for w := 0; w < c.ways; w++ {
+			if t := c.lines[int(idx[w])*c.ways+w].lastUse; t < bestAge {
+				best, bestAge = w, t
+			}
+		}
+		return best
+	}
+}
+
+// AccessStream replays the load/store records of recs in order through
+// the cache (loads as reads, stores as writes), skipping non-memory
+// records, and returns the number of accesses performed.  It is the
+// batched trace-replay entry point: the per-record overhead of the
+// Stream interface is amortized away and the block shift is hoisted out
+// of the loop.
+func (c *Cache) AccessStream(recs []trace.Rec) uint64 {
+	off := uint(c.offBits)
+	var n uint64
+	for i := range recs {
+		op := recs[i].Op
+		if op != trace.OpLoad && op != trace.OpStore {
+			continue
+		}
+		c.AccessBlock(recs[i].Addr>>off, op == trace.OpStore)
+		n++
+	}
+	return n
+}
+
+// ReplayStream drains up to max records (0 = no limit) from s through
+// the cache, skipping non-memory records, and returns the number of
+// records consumed from the stream.
+func (c *Cache) ReplayStream(s trace.Stream, max uint64) uint64 {
+	off := uint(c.offBits)
+	var consumed uint64
+	for max == 0 || consumed < max {
+		r, ok := s.Next()
+		if !ok {
+			break
+		}
+		consumed++
+		if r.Op != trace.OpLoad && r.Op != trace.OpStore {
+			continue
+		}
+		c.AccessBlock(r.Addr>>off, r.Op == trace.OpStore)
+	}
+	return consumed
+}
+
+// replayMemRecs drives the load/store records of recs in order through
+// access, skipping non-memory records, and returns the number of
+// accesses performed.  It is the shared filter-and-replay loop behind
+// the organization wrappers' AccessStream methods.
+func replayMemRecs(recs []trace.Rec, access func(addr uint64, write bool)) uint64 {
+	var n uint64
+	for i := range recs {
+		op := recs[i].Op
+		if op != trace.OpLoad && op != trace.OpStore {
+			continue
+		}
+		access(recs[i].Addr, op == trace.OpStore)
+		n++
+	}
+	return n
 }
 
 // Probe reports whether block (a block address) is present, without
@@ -273,25 +574,96 @@ func (c *Cache) Probe(block uint64) bool {
 	return ok
 }
 
+// Locate returns the frame (way, set) holding block, without changing
+// any state or statistics.  The hierarchy package uses it to maintain
+// its per-L2-frame residency index.
+func (c *Cache) Locate(block uint64) (way int, set uint64, ok bool) {
+	return c.lookup(block)
+}
+
+// ProbeDirty reports whether block is present and, if so, whether its
+// line is dirty.  Like Probe it changes no state.
+func (c *Cache) ProbeDirty(block uint64) (dirty, ok bool) {
+	if w, s, found := c.lookup(block); found {
+		return c.lines[int(s)*c.ways+w].dirty, true
+	}
+	return false, false
+}
+
+// InsertBlock installs block as if by a fill, carrying the given dirty
+// state, WITHOUT recording a demand access (Accesses/Hits/Misses are
+// untouched; Fills, Evictions and Writebacks still count).  If the block
+// is already present its line is touched and its dirty bit merged.  The
+// victim-cache organization uses it to demote evicted main-cache lines
+// into the buffer: demotions are internal traffic, not demand accesses,
+// and must not lose the evicted line's dirty bit.
+func (c *Cache) InsertBlock(block uint64, dirty bool) Result {
+	c.clock++
+	if w, s, ok := c.lookup(block); ok {
+		ln := &c.lines[int(s)*c.ways+w]
+		ln.lastUse = c.clock
+		ln.dirty = ln.dirty || dirty
+		if c.plruBits != nil {
+			c.plruTouch(s, w)
+		}
+		return Result{Hit: true, Set: s, Way: w}
+	}
+	var w int
+	var s uint64
+	if c.skewed {
+		idx := c.setScratch
+		for i := 0; i < c.ways; i++ {
+			idx[i] = c.setIndex(block, i)
+		}
+		w = c.victimWaySkewed(idx)
+		s = idx[w]
+	} else {
+		s = c.setIndex(block, 0)
+		base := int(s) * c.ways
+		w = c.victimWayUniform(s, c.lines[base:base+c.ways])
+	}
+	ln := &c.lines[int(s)*c.ways+w]
+	res := c.install(w, s, ln, block)
+	ln.dirty = dirty
+	return res
+}
+
 // Invalidate removes block (a block address) if present, returning true
 // when a line was dropped.  The OnEvict hook is NOT called (invalidation
-// is itself usually a downward coherence action).
+// is itself usually a downward coherence action).  Under PLRU the set's
+// tree bits are repointed at the vacated way so stale recency state from
+// the departed line cannot outlive it.
 func (c *Cache) Invalidate(block uint64) bool {
-	if w, s, ok := c.lookup(block); ok {
-		c.lines[w][s] = line{}
+	_, ok := c.Extract(block)
+	return ok
+}
+
+// Extract is Invalidate reporting the dropped line's dirty bit: one
+// lookup removes the line and returns whether it was present and dirty.
+// The victim-cache swap path uses it to recover a buffered line's
+// pending writeback without re-scanning the buffer.
+func (c *Cache) Extract(block uint64) (dirty, ok bool) {
+	if w, s, found := c.lookup(block); found {
+		ln := &c.lines[int(s)*c.ways+w]
+		dirty = ln.dirty
+		*ln = line{}
+		if c.plruBits != nil {
+			c.plruPointTo(s, w)
+		}
 		c.stats.Invalidates++
-		return true
+		return dirty, true
 	}
-	return false
+	return false, false
 }
 
 // Flush invalidates every line (e.g. when the indexing function changes,
-// §3.1 option 2).
+// §3.1 option 2) and resets all PLRU state.
 func (c *Cache) Flush() {
-	for w := range c.lines {
-		for s := range c.lines[w] {
-			c.lines[w][s] = line{}
-		}
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+	for i := range c.plruBits {
+		c.plruBits[i] = 0
 	}
 }
 
@@ -299,11 +671,9 @@ func (c *Cache) Flush() {
 // audits.
 func (c *Cache) Contents() []uint64 {
 	var out []uint64
-	for w := range c.lines {
-		for s := range c.lines[w] {
-			if c.lines[w][s].valid {
-				out = append(out, c.lines[w][s].block)
-			}
+	for i := range c.lines {
+		if c.lines[i].valid {
+			out = append(out, c.lines[i].block)
 		}
 	}
 	return out
@@ -312,11 +682,9 @@ func (c *Cache) Contents() []uint64 {
 // Occupancy returns the number of valid lines.
 func (c *Cache) Occupancy() int {
 	n := 0
-	for w := range c.lines {
-		for s := range c.lines[w] {
-			if c.lines[w][s].valid {
-				n++
-			}
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
 		}
 	}
 	return n
@@ -324,83 +692,25 @@ func (c *Cache) Occupancy() int {
 
 // lookup scans every way for block, returning the (way, set) on hit.
 func (c *Cache) lookup(block uint64) (way int, set uint64, ok bool) {
+	if !c.skewed {
+		s := c.setIndex(block, 0)
+		base := int(s) * c.ways
+		seti := c.lines[base : base+c.ways]
+		for w := range seti {
+			if seti[w].valid && seti[w].block == block {
+				return w, s, true
+			}
+		}
+		return 0, 0, false
+	}
 	for w := 0; w < c.ways; w++ {
-		s := c.place.SetIndex(block, w)
-		ln := &c.lines[w][s]
+		s := c.setIndex(block, w)
+		ln := &c.lines[int(s)*c.ways+w]
 		if ln.valid && ln.block == block {
 			return w, s, true
 		}
 	}
 	return 0, 0, false
-}
-
-// fill installs block, evicting a victim chosen by the replacement
-// policy.
-func (c *Cache) fill(block uint64) Result {
-	w := c.victimWay(block)
-	s := c.place.SetIndex(block, w)
-	victim := c.lines[w][s]
-	res := Result{Set: s, Way: w, Filled: true}
-	if victim.valid {
-		res.Evicted = victim.block
-		res.EvictedValid = true
-		res.EvictedDirty = victim.dirty
-		c.stats.Evictions++
-		if victim.dirty {
-			c.stats.Writebacks++
-		}
-		if c.OnEvict != nil {
-			c.OnEvict(victim.block, victim.dirty)
-		}
-	}
-	c.lines[w][s] = line{block: block, valid: true, lastUse: c.clock, inserted: c.clock}
-	c.stats.Fills++
-	c.touch(w, s)
-	return res
-}
-
-// victimWay picks the way to fill for block.
-func (c *Cache) victimWay(block uint64) int {
-	// Prefer an invalid candidate line.
-	for w := 0; w < c.ways; w++ {
-		s := c.place.SetIndex(block, w)
-		if !c.lines[w][s].valid {
-			return w
-		}
-	}
-	switch c.cfg.Replacement {
-	case FIFO:
-		best, bestAge := 0, ^uint64(0)
-		for w := 0; w < c.ways; w++ {
-			s := c.place.SetIndex(block, w)
-			if t := c.lines[w][s].inserted; t < bestAge {
-				best, bestAge = w, t
-			}
-		}
-		return best
-	case Random:
-		return c.rnd.Intn(c.ways)
-	case PLRU:
-		s := c.place.SetIndex(block, 0)
-		return c.plruVictim(s)
-	default: // LRU
-		best, bestAge := 0, ^uint64(0)
-		for w := 0; w < c.ways; w++ {
-			s := c.place.SetIndex(block, w)
-			if t := c.lines[w][s].lastUse; t < bestAge {
-				best, bestAge = w, t
-			}
-		}
-		return best
-	}
-}
-
-// touch updates recency state after a hit or fill.
-func (c *Cache) touch(w int, s uint64) {
-	c.lines[w][s].lastUse = c.clock
-	if c.cfg.Replacement == PLRU {
-		c.plruTouch(s, w)
-	}
 }
 
 // Tree-PLRU over a power-of-two way count: internal nodes of a binary
@@ -433,6 +743,25 @@ func (c *Cache) plruTouch(s uint64, way int) {
 			hi = mid
 		} else {
 			c.plruBits[s] &^= 1 << uint(node)
+			node = 2*node + 2
+			lo = mid
+		}
+	}
+}
+
+// plruPointTo walks from the root toward way, setting each bit to point
+// AT it, so the vacated way becomes the set's next pseudo-LRU victim.
+func (c *Cache) plruPointTo(s uint64, way int) {
+	node := 0
+	lo, hi := 0, c.ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if way < mid {
+			c.plruBits[s] &^= 1 << uint(node)
+			node = 2*node + 1
+			hi = mid
+		} else {
+			c.plruBits[s] |= 1 << uint(node)
 			node = 2*node + 2
 			lo = mid
 		}

@@ -366,3 +366,72 @@ func TestReplPolicyString(t *testing.T) {
 		}
 	}
 }
+
+func TestPLRUInvalidateRepointsTree(t *testing.T) {
+	// Regression: Invalidate used to leave the set's tree-PLRU bits
+	// untouched, so state from the departed line outlived it.  The fix
+	// repoints the tree at the vacated way, making it the next victim.
+	cfg := Config{Size: 4 * 32, BlockSize: 32, Ways: 4, Replacement: PLRU, WriteAllocate: true}
+	c := New(cfg) // single set, 4 ways
+	for i := uint64(0); i < 4; i++ {
+		c.Access(i*32, false)
+	}
+	// Touch order 3,2,1,0 leaves the tree pointing at way 3.
+	for i := 3; i >= 0; i-- {
+		c.Access(uint64(i)*32, false)
+	}
+	if got := c.plruVictim(0); got != 3 {
+		t.Fatalf("setup: plru victim = %d, want 3", got)
+	}
+	if !c.Invalidate(1) { // block 1 lives in way 1
+		t.Fatal("Invalidate missed resident block")
+	}
+	if got := c.plruVictim(0); got != 1 {
+		t.Errorf("after Invalidate, plru victim = %d, want the vacated way 1", got)
+	}
+	// The next fill must land in the vacated way.
+	if r := c.Access(4*32, false); r.Way != 1 {
+		t.Errorf("fill went to way %d, want 1", r.Way)
+	}
+}
+
+func TestPLRUFlushClearsTreeState(t *testing.T) {
+	cfg := Config{Size: 8 * 32, BlockSize: 32, Ways: 4, Replacement: PLRU, WriteAllocate: true}
+	c := New(cfg) // two sets, 4 ways
+	for i := uint64(0); i < 16; i++ {
+		c.Access(i*32, false)
+	}
+	c.Flush()
+	for s, b := range c.plruBits {
+		if b != 0 {
+			t.Errorf("set %d: plru bits %#x survived Flush", s, b)
+		}
+	}
+	if c.Occupancy() != 0 {
+		t.Error("Flush left lines valid")
+	}
+}
+
+func TestInsertBlockSemantics(t *testing.T) {
+	cfg := Config{Size: 2 * 32, BlockSize: 32, Ways: 2, WriteBack: true, WriteAllocate: true}
+	c := New(cfg) // single set, 2 ways
+	c.InsertBlock(1, true)
+	if s := c.Stats(); s.Accesses != 0 || s.Fills != 1 {
+		t.Fatalf("InsertBlock stats = %+v, want fill without demand access", s)
+	}
+	if dirty, ok := c.ProbeDirty(1); !ok || !dirty {
+		t.Fatal("inserted line not present dirty")
+	}
+	// Inserting a present block merges dirtiness and touches recency.
+	c.InsertBlock(2, false)
+	c.InsertBlock(1, false)
+	if dirty, _ := c.ProbeDirty(1); !dirty {
+		t.Error("re-insert cleared the dirty bit")
+	}
+	// Displacing the dirty line accounts a writeback.
+	c.InsertBlock(2, false) // touch 2... block 1 is LRU? 1 touched after 2
+	c.InsertBlock(3, false) // evicts LRU
+	if wb := c.Stats().Writebacks; wb != 1 {
+		t.Errorf("writebacks = %d, want 1", wb)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math/bits"
 
 	"repro/internal/gf2"
+	"repro/internal/trace"
 )
 
 // ColumnAssociative models §3.1 option 4: a physically-tagged
@@ -171,6 +172,12 @@ func (c *ColumnAssociative) promote(block uint64, i1, i2 uint64) {
 	}
 	c.lines[alt] = occ
 	c.lines[i1] = promoted
+}
+
+// AccessStream replays the load/store records of recs in order,
+// returning the number of accesses performed.
+func (c *ColumnAssociative) AccessStream(recs []trace.Rec) uint64 {
+	return replayMemRecs(recs, func(addr uint64, write bool) { c.Access(addr, write) })
 }
 
 func (c *ColumnAssociative) hit(write bool) {

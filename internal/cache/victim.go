@@ -1,5 +1,7 @@
 package cache
 
+import "repro/internal/trace"
+
 // VictimCache models Jouppi's victim cache [13]: a direct-mapped (or
 // set-associative) main cache backed by a small fully-associative buffer
 // holding recently evicted lines.  On a main-cache miss that hits in the
@@ -12,6 +14,10 @@ type VictimCache struct {
 	stats  Stats
 	// VictimHits counts main-cache misses satisfied by the buffer.
 	VictimHits uint64
+	// Demotions counts evicted main-cache lines transferred into the
+	// buffer.  Demotions are internal traffic: they are accounted here,
+	// not in the buffer's demand-access statistics.
+	Demotions uint64
 }
 
 // NewVictimCache builds a victim-cache organization.  mainCfg describes
@@ -51,10 +57,15 @@ func (v *VictimCache) Access(addr uint64, write bool) Result {
 	if v.victim.Probe(block) {
 		if res.Filled {
 			// Swap: the block is promoted into main (done by res's fill);
-			// drop its buffer copy and demote main's displaced line.
-			v.victim.Invalidate(block)
+			// drop its buffer copy — carrying its dirty bit into main so a
+			// write-back line does not lose its pending writeback — and
+			// demote main's displaced line.  res already names the filled
+			// main frame, so the dirty carry is a direct line write.
+			if dirty, ok := v.victim.Extract(block); ok && dirty {
+				v.main.lines[int(res.Set)*v.main.ways+res.Way].dirty = true
+			}
 			if res.EvictedValid {
-				v.victim.AccessBlock(res.Evicted, false)
+				v.demote(res.Evicted, res.EvictedDirty)
 			}
 		} else {
 			// Non-allocating store: the line stays in the buffer; touch it.
@@ -70,9 +81,24 @@ func (v *VictimCache) Access(addr uint64, write bool) Result {
 	// Miss everywhere: res already filled main (unless non-allocating
 	// store); demote its victim into the buffer.
 	if res.EvictedValid {
-		v.victim.AccessBlock(res.Evicted, false)
+		v.demote(res.Evicted, res.EvictedDirty)
 	}
 	return Result{Hit: false, Filled: res.Filled}
+}
+
+// demote transfers an evicted main-cache line into the buffer, carrying
+// its dirty bit.  The transfer is internal traffic: it does not perturb
+// the buffer's demand hit/miss statistics (InsertBlock), and is counted
+// in Demotions instead.
+func (v *VictimCache) demote(block uint64, dirty bool) {
+	v.victim.InsertBlock(block, dirty)
+	v.Demotions++
+}
+
+// AccessStream replays the load/store records of recs in order,
+// returning the number of accesses performed.
+func (v *VictimCache) AccessStream(recs []trace.Rec) uint64 {
+	return replayMemRecs(recs, func(addr uint64, write bool) { v.Access(addr, write) })
 }
 
 func (v *VictimCache) count(write, hit bool) {
@@ -94,3 +120,9 @@ func (v *VictimCache) Stats() Stats { return v.stats }
 
 // MainStats exposes the inner main-cache statistics.
 func (v *VictimCache) MainStats() Stats { return v.main.Stats() }
+
+// VictimStats exposes the buffer's statistics.  Its Writebacks counter
+// includes dirty demoted lines displaced from the buffer (the lost
+// writebacks the demotion path must preserve); its demand counters cover
+// only true accesses, not internal demotions.
+func (v *VictimCache) VictimStats() Stats { return v.victim.Stats() }

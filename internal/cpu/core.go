@@ -444,7 +444,9 @@ func (c *Core) issueLoad(slot int, e *robEntry) bool {
 		lat-- // speculative access overlapped with address computation
 	}
 
-	c.cache.Access(e.rec.Addr, false)
+	// The block address is already in hand from the Probe above; use the
+	// fused block-level entry point rather than re-deriving it.
+	c.cache.AccessBlock(block, false)
 	switch {
 	case isInflight:
 		// Secondary reference to an in-flight line: merge with the MSHR

@@ -10,6 +10,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/runner"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -46,28 +47,30 @@ func fig1Placement(s index.Scheme) index.Placement {
 }
 
 // fig1Stride measures one stride's miss ratio of the 64×8-byte vector
-// walk through an 8 KB 2-way cache with the given placement.
-func fig1Stride(place index.Placement, stride uint64, rounds int) float64 {
+// walk through an 8 KB 2-way cache with the given placement.  The
+// kernel's records are materialized into recs (a reusable scratch
+// buffer, grown as needed) and replayed through the batched access
+// path; the returned buffer is handed back for the next stride.
+func fig1Stride(place index.Placement, stride uint64, rounds int, recs []trace.Rec) (float64, []trace.Rec) {
 	const elems = 64
 	c := cache.New(cache.Config{
 		Size: 8 << 10, BlockSize: 32, Ways: 2,
 		Placement: place, WriteAllocate: false,
 	})
 	ss := workload.NewStrideStream(0, stride*8, elems, rounds)
-	// Warm-up round excluded from the measured ratio.
-	for i := 0; i < elems; i++ {
-		r, _ := ss.Next()
-		c.Access(r.Addr, false)
-	}
-	c.ResetStats()
+	recs = recs[:0]
 	for {
 		r, ok := ss.Next()
 		if !ok {
 			break
 		}
-		c.Access(r.Addr, false)
+		recs = append(recs, r)
 	}
-	return c.Stats().MissRatio()
+	// Warm-up round excluded from the measured ratio.
+	c.AccessStream(recs[:elems])
+	c.ResetStats()
+	c.AccessStream(recs[elems:])
+	return c.Stats().MissRatio(), recs
 }
 
 // fig1Chunk is the stride-sweep job granularity: big enough that cache
@@ -96,11 +99,13 @@ func fig1Jobs(o Options) []runner.JobOf[fig1Partial] {
 				fmt.Sprintf("fig1/%s/strides=%d-%d", scheme, lo, hi-1),
 				func(c *runner.Ctx) (fig1Partial, error) {
 					p := fig1Partial{scheme: scheme, hist: stats.NewHistogram(10)}
+					var recs []trace.Rec
 					for s := lo; s < hi; s++ {
 						if c.Err() != nil {
 							return p, c.Err()
 						}
-						mr := fig1Stride(place, uint64(s), o.Fig1Rounds)
+						var mr float64
+						mr, recs = fig1Stride(place, uint64(s), o.Fig1Rounds, recs)
 						p.hist.Add(mr)
 						if mr > 0.5 {
 							p.patho++
@@ -155,12 +160,14 @@ func RunFig1Serial(o Options) Fig1Result {
 		Pathological: make(map[index.Scheme]int),
 		Strides:      o.MaxStride - 1,
 	}
+	var recs []trace.Rec
 	for _, scheme := range fig1Schemes() {
 		place := fig1Placement(scheme)
 		h := stats.NewHistogram(10)
 		res.Pathological[scheme] = 0
 		for s := 1; s < o.MaxStride; s++ {
-			mr := fig1Stride(place, uint64(s), o.Fig1Rounds)
+			var mr float64
+			mr, recs = fig1Stride(place, uint64(s), o.Fig1Rounds, recs)
 			h.Add(mr)
 			if mr > 0.5 {
 				res.Pathological[scheme]++

@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"testing"
+
+	"repro/internal/index"
+)
+
+// goldenValues computes a flat name -> value map of exact experiment
+// outputs at the small() test options.  Every value is either an integer
+// counter or a float64 printed with full round-trip precision, so the
+// comparison below pins the simulation engines bit-for-bit: any change
+// to cache lookup, replacement, hierarchy inclusion or trace replay
+// order shows up as a golden mismatch.
+func goldenValues(t *testing.T) map[string]string {
+	t.Helper()
+	o := small()
+	vals := make(map[string]string)
+	f := func(name string, v float64) { vals[name] = fmt.Sprintf("%.17g", v) }
+	u := func(name string, v uint64) { vals[name] = fmt.Sprintf("%d", v) }
+
+	fig := RunFig1(o)
+	for _, s := range fig1Schemes() {
+		u("fig1/patho/"+string(s), uint64(fig.Pathological[s]))
+		u("fig1/hist/"+string(s), uint64(fig.Histograms[s].Count()))
+	}
+
+	orgs := RunOrgs(o)
+	for i, name := range orgs.Orgs {
+		f("orgs/avg/"+name, orgs.Avg[i])
+	}
+
+	sd := RunStdDev(o)
+	f("stddev/conv", sd.ConvStdDev)
+	f("stddev/ipoly", sd.IPolyStdDev)
+
+	sw := RunSweep(o)
+	for si, size := range sw.SizesKB {
+		for wi, ways := range sw.Ways {
+			for ki, scheme := range sw.Schemes {
+				f(fmt.Sprintf("sweep/%dKB/%dw/%s", size, ways, scheme), sw.Miss[si][wi][ki])
+			}
+		}
+	}
+
+	holes := RunHoles(o)
+	for _, row := range holes.Sweep {
+		u(fmt.Sprintf("holes/sweep/%dKB/l2misses", row.L2KB), row.L2Misses)
+		u(fmt.Sprintf("holes/sweep/%dKB/holes", row.L2KB), row.Holes)
+	}
+	for i, name := range holes.SuiteNames {
+		f("holes/suite/"+name, holes.SuiteRates[i])
+	}
+
+	tc := RunThreeC(o)
+	for i, row := range tc.Conventional {
+		f("threec/conv/"+row.Name, row.Conflict)
+		f("threec/ipoly/"+tc.IPoly[i].Name, tc.IPoly[i].Conflict)
+	}
+
+	t2 := RunTable2(o)
+	f("table2/combined/c8ipc", t2.Combined.C8IPC)
+	f("table2/combined/ipolyipc", t2.Combined.IPolyIPC)
+	f("table2/combined/c8miss", t2.Combined.C8Miss)
+	f("table2/combined/ipolymiss", t2.Combined.IPolyMiss)
+
+	ca := RunColAssoc(o)
+	for i, name := range ca.Bench {
+		f("colassoc/firstprobe/"+name, ca.FirstProbeRate[i])
+	}
+	return vals
+}
+
+// TestGoldenMissRatios pins the exact experiment outputs of the access
+// engine.  Run with GOLDEN_PRINT=1 to emit the table for regeneration
+// after an intentional behaviour change.
+func TestGoldenMissRatios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden pin is slow")
+	}
+	vals := goldenValues(t)
+	if os.Getenv("GOLDEN_PRINT") != "" {
+		keys := make([]string, 0, len(vals))
+		for k := range vals {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("\t%q: %q,\n", k, vals[k])
+		}
+		t.Fatal("GOLDEN_PRINT set: table printed above")
+	}
+	for k, want := range goldenTable {
+		if got, ok := vals[k]; !ok {
+			t.Errorf("golden key %s missing from run", k)
+		} else if got != want {
+			t.Errorf("golden %s = %s, want %s", k, got, want)
+		}
+	}
+	for k := range vals {
+		if _, ok := goldenTable[k]; !ok {
+			t.Errorf("run produced unpinned key %s", k)
+		}
+	}
+}
+
+var goldenTable = map[string]string{
+	"colassoc/firstprobe/applu":    "0.96302164200386575",
+	"colassoc/firstprobe/apsi":     "0.99971402243335139",
+	"colassoc/firstprobe/compress": "0.99870242214532867",
+	"colassoc/firstprobe/fpppp":    "0.31263582738280038",
+	"colassoc/firstprobe/gcc":      "0.96763732180258089",
+	"colassoc/firstprobe/go":       "0.99800872646343963",
+	"colassoc/firstprobe/hydro2d":  "0.9995077609687264",
+	"colassoc/firstprobe/ijpeg":    "0.5790868386585849",
+	"colassoc/firstprobe/li":       "0.99855052264808364",
+	"colassoc/firstprobe/m88ksim":  "0.96656425586094274",
+	"colassoc/firstprobe/mgrid":    "0.99786578136115722",
+	"colassoc/firstprobe/perl":     "0.99884997987464785",
+	"colassoc/firstprobe/su2cor":   "0.99921396006917151",
+	"colassoc/firstprobe/swim":     "0.17600129722717692",
+	"colassoc/firstprobe/tomcatv":  "0.51174880432522352",
+	"colassoc/firstprobe/turb3d":   "0.93924604510265908",
+	"colassoc/firstprobe/vortex":   "0.99496689535336591",
+	"colassoc/firstprobe/wave5":    "0.55149992021700978",
+	"fig1/hist/a2":                 "511",
+	"fig1/hist/a2-Hp":              "511",
+	"fig1/hist/a2-Hp-Sk":           "511",
+	"fig1/hist/a2-Hx-Sk":           "511",
+	"fig1/patho/a2":                "36",
+	"fig1/patho/a2-Hp":             "5",
+	"fig1/patho/a2-Hp-Sk":          "0",
+	"fig1/patho/a2-Hx-Sk":          "0",
+	"holes/suite/applu":            "0",
+	"holes/suite/apsi":             "0.00027570995312930797",
+	"holes/suite/compress":         "0",
+	"holes/suite/fpppp":            "0",
+	"holes/suite/gcc":              "0",
+	"holes/suite/go":               "0.0010725777618877368",
+	"holes/suite/hydro2d":          "0.0003756574004507889",
+	"holes/suite/ijpeg":            "0",
+	"holes/suite/li":               "0",
+	"holes/suite/m88ksim":          "0",
+	"holes/suite/mgrid":            "0",
+	"holes/suite/perl":             "0",
+	"holes/suite/su2cor":           "0.00020185708518368994",
+	"holes/suite/swim":             "0.0035897435897435897",
+	"holes/suite/tomcatv":          "0",
+	"holes/suite/turb3d":           "0",
+	"holes/suite/vortex":           "0.0036138358286009293",
+	"holes/suite/wave5":            "0.0038829151732377538",
+	"holes/sweep/1024KB/holes":     "613",
+	"holes/sweep/1024KB/l2misses":  "76929",
+	"holes/sweep/128KB/holes":      "4607",
+	"holes/sweep/128KB/l2misses":   "79382",
+	"holes/sweep/256KB/holes":      "2404",
+	"holes/sweep/256KB/l2misses":   "78852",
+	"holes/sweep/32KB/holes":       "16004",
+	"holes/sweep/32KB/l2misses":    "79815",
+	"holes/sweep/512KB/holes":      "1249",
+	"holes/sweep/512KB/l2misses":   "78055",
+	"holes/sweep/64KB/holes":       "8814",
+	"holes/sweep/64KB/l2misses":    "79686",
+	"orgs/avg/2-way":               "18.72810315364903",
+	"orgs/avg/2-way I-Poly-Sk":     "11.086730689763527",
+	"orgs/avg/2-way shuffle-Hx2":   "11.785393415952242",
+	"orgs/avg/2-way skewed-Hx":     "11.657114062996719",
+	"orgs/avg/column-assoc":        "23.058123466823545",
+	"orgs/avg/direct-mapped":       "22.647799465951223",
+	"orgs/avg/fully-assoc":         "9.5129938333032342",
+	"orgs/avg/victim(4)":           "21.29979099688931",
+	"stddev/conv":                  "19.761028151028299",
+	"stddev/ipoly":                 "4.4877486390395092",
+	"sweep/16KB/1w/a2":             "20.540254713193367",
+	"sweep/16KB/1w/a2-Hp-Sk":       "15.915860956436136",
+	"sweep/16KB/2w/a2":             "15.416410982972703",
+	"sweep/16KB/2w/a2-Hp-Sk":       "9.9578062838886474",
+	"sweep/16KB/4w/a2":             "15.761581847039233",
+	"sweep/16KB/4w/a2-Hp-Sk":       "9.2133293000867162",
+	"sweep/32KB/1w/a2":             "17.867081428538256",
+	"sweep/32KB/1w/a2-Hp-Sk":       "14.322389614655492",
+	"sweep/32KB/2w/a2":             "14.097313062057607",
+	"sweep/32KB/2w/a2-Hp-Sk":       "8.8631383342616399",
+	"sweep/32KB/4w/a2":             "14.356478680489523",
+	"sweep/32KB/4w/a2-Hp-Sk":       "8.7159872564400249",
+	"sweep/4KB/1w/a2":              "26.808378391489693",
+	"sweep/4KB/1w/a2-Hp-Sk":        "22.251672142906259",
+	"sweep/4KB/2w/a2":              "21.14506468238838",
+	"sweep/4KB/2w/a2-Hp-Sk":        "17.454794090913566",
+	"sweep/4KB/4w/a2":              "21.425223521491027",
+	"sweep/4KB/4w/a2-Hp-Sk":        "17.507374667530218",
+	"sweep/8KB/1w/a2":              "22.647799465951223",
+	"sweep/8KB/1w/a2-Hp-Sk":        "18.145780007046756",
+	"sweep/8KB/2w/a2":              "18.72810315364903",
+	"sweep/8KB/2w/a2-Hp-Sk":        "11.086730689763527",
+	"sweep/8KB/4w/a2":              "18.054015341012107",
+	"sweep/8KB/4w/a2-Hp-Sk":        "10.063115512804277",
+	"table2/combined/c8ipc":        "1.3035376980362077",
+	"table2/combined/c8miss":       "18.018167694460494",
+	"table2/combined/ipolyipc":     "1.4113750136248033",
+	"table2/combined/ipolymiss":    "11.926716973369116",
+	"threec/conv/applu":            "2.7937150785615179",
+	"threec/conv/apsi":             "0.58999999999999997",
+	"threec/conv/compress":         "0.70750000000000002",
+	"threec/conv/fpppp":            "1.8749765627929651",
+	"threec/conv/gcc":              "0.32250806270156757",
+	"threec/conv/go":               "0.51500000000000001",
+	"threec/conv/hydro2d":          "0.81499999999999995",
+	"threec/conv/ijpeg":            "0",
+	"threec/conv/li":               "0.24249999999999999",
+	"threec/conv/m88ksim":          "1.2374845314433569",
+	"threec/conv/mgrid":            "3.5174560317996026",
+	"threec/conv/perl":             "0.34999999999999998",
+	"threec/conv/su2cor":           "0.61250000000000004",
+	"threec/conv/swim":             "67.463333333333338",
+	"threec/conv/tomcatv":          "42.40325087953746",
+	"threec/conv/turb3d":           "3.6599542505718681",
+	"threec/conv/vortex":           "0.29625740643516085",
+	"threec/conv/wave5":            "40.447194487413867",
+	"threec/ipoly/applu":           "3.2099598755015561",
+	"threec/ipoly/apsi":            "1.5475000000000001",
+	"threec/ipoly/compress":        "1.28",
+	"threec/ipoly/fpppp":           "1.1549855626804666",
+	"threec/ipoly/gcc":             "0.6300157503937599",
+	"threec/ipoly/go":              "0.88500000000000001",
+	"threec/ipoly/hydro2d":         "1.4325000000000001",
+	"threec/ipoly/ijpeg":           "0.083333333333333329",
+	"threec/ipoly/li":              "0.45750000000000002",
+	"threec/ipoly/m88ksim":         "1.2374845314433569",
+	"threec/ipoly/mgrid":           "2.051224359695504",
+	"threec/ipoly/perl":            "0.53000000000000003",
+	"threec/ipoly/su2cor":          "1.1200000000000001",
+	"threec/ipoly/swim":            "4.5233333333333334",
+	"threec/ipoly/tomcatv":         "0.46363214879864728",
+	"threec/ipoly/turb3d":          "3.2137098286271422",
+	"threec/ipoly/vortex":          "0.42376059401485039",
+	"threec/ipoly/wave5":           "5.7882154408662636",
+}
+
+var _ = index.SchemeModulo

@@ -5,6 +5,9 @@ import (
 	"repro/internal/gf2"
 	"repro/internal/hierarchy"
 	"repro/internal/index"
+	"repro/internal/runner"
+	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // Shared constructors for experiment drivers, all at the paper's 8 KB /
@@ -27,4 +30,39 @@ func newColAssocForExperiment() *cache.ColumnAssociative {
 // newDMForExperiment builds a plain direct-mapped baseline.
 func newDMForExperiment() *cache.Cache {
 	return cache.New(cache.Config{Size: 8 << 10, BlockSize: 32, Ways: 1, WriteAllocate: false})
+}
+
+// memChunkLen bounds the record buffer of forEachMemChunk so streaming
+// batch replay keeps O(1) memory regardless of -instructions.
+const memChunkLen = 1 << 14
+
+// forEachMemChunk streams up to max memory records of the benchmark's
+// trace through fn in bounded in-order chunks, checking for
+// cancellation between chunks.  Replaying each chunk through a set of
+// independent caches preserves every cache's access order, so results
+// are identical to a record-at-a-time pass.
+func forEachMemChunk(c *runner.Ctx, prof workload.Profile, seed, max uint64, fn func(recs []trace.Rec)) error {
+	s := &trace.MemOnly{S: workload.Stream(prof, seed)}
+	buf := make([]trace.Rec, 0, memChunkLen)
+	var n uint64
+	eof := false
+	for n < max && !eof {
+		if c.Err() != nil {
+			return c.Err()
+		}
+		buf = buf[:0]
+		for len(buf) < memChunkLen && n < max {
+			r, ok := s.Next()
+			if !ok {
+				eof = true
+				break
+			}
+			buf = append(buf, r)
+			n++
+		}
+		if len(buf) > 0 {
+			fn(buf)
+		}
+	}
+	return nil
 }

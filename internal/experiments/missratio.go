@@ -28,25 +28,26 @@ type OrgResult struct {
 	Avg []float64
 }
 
-// orgRunner abstracts the different cache structures.
+// orgRunner abstracts the different cache structures over the batched
+// replay path.
 type orgRunner interface {
-	access(addr uint64, write bool)
+	replay(recs []trace.Rec)
 	missRatio() float64
 }
 
 type basicOrg struct{ c *cache.Cache }
 
-func (b basicOrg) access(a uint64, w bool) { b.c.Access(a, w) }
+func (b basicOrg) replay(recs []trace.Rec) { b.c.AccessStream(recs) }
 func (b basicOrg) missRatio() float64      { return b.c.Stats().ReadMissRatio() }
 
 type victimOrg struct{ v *cache.VictimCache }
 
-func (o victimOrg) access(a uint64, w bool) { o.v.Access(a, w) }
+func (o victimOrg) replay(recs []trace.Rec) { o.v.AccessStream(recs) }
 func (o victimOrg) missRatio() float64      { return o.v.Stats().ReadMissRatio() }
 
 type colOrg struct{ c *cache.ColumnAssociative }
 
-func (o colOrg) access(a uint64, w bool) { o.c.Access(a, w) }
+func (o colOrg) replay(recs []trace.Rec) { o.c.AccessStream(recs) }
 func (o colOrg) missRatio() float64      { return o.c.Stats().ReadMissRatio() }
 
 // newOrgs builds the contestants, all 8 KB with 32-byte lines.
@@ -96,19 +97,20 @@ func RunOrgsCtx(ctx context.Context, o Options) (OrgResult, error) {
 	for i, prof := range suite {
 		jobs[i] = runner.KeyedJob("missratio/orgs/"+prof.Name,
 			func(c *runner.Ctx) ([]float64, error) {
+				// The organizations are independent, so the trace is
+				// streamed in bounded chunks and batch-replayed through
+				// each in turn — per-organization results are identical to
+				// the old record-interleaved pass, without its dispatch
+				// overhead and without materializing the whole trace.
 				orgs := mk()
-				s := &trace.MemOnly{S: workload.Stream(prof, o.Seed)}
-				for i := uint64(0); i < o.Instructions; i++ {
-					if i&0x3FFF == 0 && c.Err() != nil {
-						return nil, c.Err()
-					}
-					r, ok := s.Next()
-					if !ok {
-						break
-					}
-					for _, org := range orgs {
-						org.access(r.Addr, r.Op == trace.OpStore)
-					}
+				err := forEachMemChunk(c, prof, o.Seed, o.Instructions,
+					func(recs []trace.Rec) {
+						for _, org := range orgs {
+							org.replay(recs)
+						}
+					})
+				if err != nil {
+					return nil, err
 				}
 				row := make([]float64, len(orgs))
 				for i, org := range orgs {
@@ -195,18 +197,13 @@ func RunStdDevCtx(ctx context.Context, o Options) (StdDevResult, error) {
 					Placement:     index.MustNew(index.SchemeIPolySk, setBits8K, 2, hashInBits),
 					WriteAllocate: false,
 				})
-				s := &trace.MemOnly{S: workload.Stream(prof, o.Seed)}
-				for i := uint64(0); i < o.Instructions; i++ {
-					if i&0x3FFF == 0 && c.Err() != nil {
-						return pair{}, c.Err()
-					}
-					r, ok := s.Next()
-					if !ok {
-						break
-					}
-					w := r.Op == trace.OpStore
-					conv.Access(r.Addr, w)
-					ip.Access(r.Addr, w)
+				err := forEachMemChunk(c, prof, o.Seed, o.Instructions,
+					func(recs []trace.Rec) {
+						conv.AccessStream(recs)
+						ip.AccessStream(recs)
+					})
+				if err != nil {
+					return pair{}, err
 				}
 				return pair{
 					conv:  100 * conv.Stats().ReadMissRatio(),

@@ -35,19 +35,15 @@ func RunSweep(o Options) SweepResult {
 }
 
 // RunSweepCtx runs the design-space sweep on the parallel engine, one
-// job per benchmark: each job collects its memory trace once and drives
-// it through every (size, ways, scheme) point, so the total work matches
-// the serial driver while the suite fans out across workers.
+// job per benchmark: each job streams its memory trace once, in bounded
+// chunks, through every (size, ways, scheme) point, so the total work
+// matches the serial driver while the suite fans out across workers.
 func RunSweepCtx(ctx context.Context, o Options) (SweepResult, error) {
 	o = o.normalize()
 	res := SweepResult{
 		SizesKB: []int{4, 8, 16, 32},
 		Ways:    []int{1, 2, 4},
 		Schemes: []index.Scheme{index.SchemeModulo, index.SchemeIPolySk},
-	}
-	type memRef struct {
-		addr  uint64
-		write bool
 	}
 	suite := workload.Suite()
 	// benchGrid[s][w][k] is one benchmark's read miss % per design point.
@@ -56,38 +52,46 @@ func RunSweepCtx(ctx context.Context, o Options) (SweepResult, error) {
 	for i, prof := range suite {
 		jobs[i] = runner.KeyedJob("sweep/"+prof.Name,
 			func(c *runner.Ctx) (benchGrid, error) {
-				s := &trace.MemOnly{S: workload.Stream(prof, o.Seed)}
-				var refs []memRef
-				for i := uint64(0); i < o.Instructions; i++ {
-					if i&0x3FFF == 0 && c.Err() != nil {
-						return nil, c.Err()
-					}
-					r, ok := s.Next()
-					if !ok {
-						break
-					}
-					refs = append(refs, memRef{r.Addr, r.Op == trace.OpStore})
-				}
-				grid := make(benchGrid, len(res.SizesKB))
+				// Build every design point's cache up front, then stream
+				// the trace once in bounded chunks through all of them:
+				// each cache sees the records in order, so results match a
+				// per-point full replay without holding the whole trace.
+				caches := make([][][]*cache.Cache, len(res.SizesKB))
 				for si, sizeKB := range res.SizesKB {
-					grid[si] = make([][]float64, len(res.Ways))
+					caches[si] = make([][]*cache.Cache, len(res.Ways))
 					for wi, ways := range res.Ways {
-						grid[si][wi] = make([]float64, len(res.Schemes))
+						caches[si][wi] = make([]*cache.Cache, len(res.Schemes))
 						for ki, scheme := range res.Schemes {
-							if c.Err() != nil {
-								return nil, c.Err()
-							}
 							sets := sizeKB << 10 / 32 / ways
 							setBits := bits.TrailingZeros(uint(sets))
 							place := index.MustNew(scheme, setBits, ways, hashInBits)
-							cc := cache.New(cache.Config{
+							caches[si][wi][ki] = cache.New(cache.Config{
 								Size: sizeKB << 10, BlockSize: 32, Ways: ways,
 								Placement: place, WriteAllocate: false,
 							})
-							for _, m := range refs {
-								cc.Access(m.addr, m.write)
+						}
+					}
+				}
+				err := forEachMemChunk(c, prof, o.Seed, o.Instructions,
+					func(recs []trace.Rec) {
+						for _, perWays := range caches {
+							for _, perScheme := range perWays {
+								for _, cc := range perScheme {
+									cc.AccessStream(recs)
+								}
 							}
-							grid[si][wi][ki] = 100 * cc.Stats().ReadMissRatio()
+						}
+					})
+				if err != nil {
+					return nil, err
+				}
+				grid := make(benchGrid, len(res.SizesKB))
+				for si := range res.SizesKB {
+					grid[si] = make([][]float64, len(res.Ways))
+					for wi := range res.Ways {
+						grid[si][wi] = make([]float64, len(res.Schemes))
+						for ki := range res.Schemes {
+							grid[si][wi][ki] = 100 * caches[si][wi][ki].Stats().ReadMissRatio()
 						}
 					}
 				}

@@ -2,6 +2,7 @@ package gf2
 
 import (
 	"fmt"
+	mathbits "math/bits"
 	"strings"
 )
 
@@ -61,15 +62,9 @@ func (bm *BitMatrix) Apply(a uint64) uint64 {
 	return out
 }
 
-// parity returns the XOR of the bits of x.
+// parity returns the XOR of the bits of x (a single POPCNT on amd64).
 func parity(x uint64) int {
-	x ^= x >> 32
-	x ^= x >> 16
-	x ^= x >> 8
-	x ^= x >> 4
-	x ^= x >> 2
-	x ^= x >> 1
-	return int(x & 1)
+	return mathbits.OnesCount64(x) & 1
 }
 
 // Row returns the input mask feeding output bit i.

@@ -71,13 +71,19 @@ type TwoLevel struct {
 
 	blockBits int
 	pageBits  int
+	l2Ways    int
 	stats     Stats
 
-	// l1Resident maps a physical block to the set of virtual blocks
-	// currently resident in L1 — the reverse pointers the virtual-real
-	// protocol maintains so physical invalidations can find virtual
-	// lines without reverse translation.
-	l1Resident map[uint64]map[uint64]struct{}
+	// resident is the flat per-L2-frame residency index: resident[f]
+	// holds vblock+1 when the virtual block vblock is L1-resident and its
+	// physical image is cached in L2 frame f (= set*ways + way), or 0
+	// when the frame's block has no L1 image.  It replaces the reverse
+	// pointers the virtual-real protocol maintains so physical
+	// invalidations can find virtual lines without reverse translation;
+	// the alias-invalidation protocol guarantees at most one virtual
+	// alias is L1-resident per physical block, so one word per frame
+	// suffices and the structure is allocation-free at access time.
+	resident []uint64
 	// holed records blocks evicted from L1 by inclusion invalidations,
 	// so later misses on them can be attributed to holes.
 	holed map[uint64]struct{}
@@ -91,22 +97,28 @@ func New(cfg Config) *TwoLevel {
 	if cfg.L2.Size < cfg.L1.Size {
 		panic("hierarchy: L2 must be at least as large as L1")
 	}
+	if cfg.L1.WriteAllocate && !cfg.L2.WriteAllocate {
+		// A store miss would fill L1 while L2 declines the block, so no
+		// configuration of reverse pointers can preserve Inclusion.
+		panic("hierarchy: write-allocating L1 over non-allocating L2 cannot maintain Inclusion")
+	}
 	pageBits := cfg.PageBits
 	if pageBits == 0 {
 		pageBits = 12
 	}
 	h := &TwoLevel{
-		L1:         cache.New(cfg.L1),
-		L2:         cache.New(cfg.L2),
-		PT:         NewPageTable(pageBits, cfg.ScrambleSeed),
-		pageBits:   pageBits,
-		l1Resident: make(map[uint64]map[uint64]struct{}),
-		holed:      make(map[uint64]struct{}),
+		L1:       cache.New(cfg.L1),
+		L2:       cache.New(cfg.L2),
+		PT:       NewPageTable(pageBits, cfg.ScrambleSeed),
+		pageBits: pageBits,
+		holed:    make(map[uint64]struct{}),
 	}
+	h.l2Ways = h.L2.Ways()
+	h.resident = make([]uint64, h.L2.Sets()*h.l2Ways)
 	for bs := cfg.L1.BlockSize; bs > 1; bs >>= 1 {
 		h.blockBits++
 	}
-	// Keep the reverse pointers in sync with natural L1 evictions.
+	// Keep the residency index in sync with natural L1 evictions.
 	h.L1.OnEvict = func(vblock uint64, _ bool) {
 		h.dropResident(vblock)
 	}
@@ -123,25 +135,22 @@ func (h *TwoLevel) vblockToPhys(vblock uint64) uint64 {
 	return h.PT.Translate(vaddr) >> uint(h.blockBits)
 }
 
-// dropResident removes vblock from the reverse-pointer map.
-func (h *TwoLevel) dropResident(vblock uint64) {
-	pblock := h.vblockToPhys(vblock)
-	if set, ok := h.l1Resident[pblock]; ok {
-		delete(set, vblock)
-		if len(set) == 0 {
-			delete(h.l1Resident, pblock)
-		}
-	}
+// frame flattens an L2 (set, way) location into a residency index.
+func (h *TwoLevel) frame(set uint64, way int) int {
+	return int(set)*h.l2Ways + way
 }
 
-// addResident records vblock as L1-resident.
-func (h *TwoLevel) addResident(vblock, pblock uint64) {
-	set, ok := h.l1Resident[pblock]
-	if !ok {
-		set = make(map[uint64]struct{}, 1)
-		h.l1Resident[pblock] = set
+// dropResident clears vblock's residency entry.  Inclusion guarantees
+// the physical image of any L1-resident block is in L2, so locating it
+// is one stat-free L2 lookup.
+func (h *TwoLevel) dropResident(vblock uint64) {
+	pblock := h.vblockToPhys(vblock)
+	if w, s, ok := h.L2.Locate(pblock); ok {
+		f := h.frame(s, w)
+		if h.resident[f] == vblock+1 {
+			h.resident[f] = 0
+		}
 	}
-	set[vblock] = struct{}{}
 }
 
 // Access performs a load (write=false) or store (write=true) of the
@@ -156,104 +165,103 @@ func (h *TwoLevel) Access(vaddr uint64, write bool) {
 		if write && !h.L1.Config().WriteBack {
 			// Write-through: the store also updates L2, whose fill (if L2
 			// somehow misses) can evict and must preserve Inclusion.
-			h.processInclusion(h.accessL2(vblock, true))
+			l2res := h.accessL2(vblock, true)
+			alias := h.captureEvictedAlias(l2res)
+			h.invalidateForInclusion(alias)
 		}
 		return
 	}
 	// L1 miss.  Note AccessBlock has already performed the L1 fill for
 	// loads (and for stores when L1 allocates on write); its displacement
-	// was reported through OnEvict and removed from the reverse pointers.
+	// was reported through OnEvict and cleared from the residency index.
 	h.stats.L1Misses++
 	if _, wasHoled := h.holed[vblock]; wasHoled {
 		h.stats.HoleMisses++
 		delete(h.holed, vblock)
 	}
 
-	pblock := h.vblockToPhys(vblock)
+	// Bring the line into L2.  Capture the L1 alias of any physical block
+	// its fill displaced BEFORE the residency slot is rewritten for the
+	// incoming block.
+	l2res := h.accessL2(vblock, write)
+	evictedAlias := h.captureEvictedAlias(l2res)
 
-	// Bring the line into L2 (and record evictions for Inclusion).
-	evicted := h.accessL2(vblock, write)
-
-	if res.Filled {
-		// Remove any other virtual alias of this physical block (at most
-		// one alias may be L1-resident, §3.3 cause 2).
-		if set, ok := h.l1Resident[pblock]; ok {
-			for alias := range set {
-				if alias == vblock {
-					continue
-				}
-				if h.L1.Invalidate(alias) {
-					h.stats.AliasInvalidates++
-				}
-				delete(set, alias)
+	if res.Filled && (l2res.Hit || l2res.Filled) {
+		// The physical block now lives in L2 frame f.  Remove any other
+		// virtual alias of it (at most one alias may be L1-resident, §3.3
+		// cause 2) and record the new residency.
+		f := h.frame(l2res.Set, l2res.Way)
+		if prev := h.resident[f]; prev != 0 && prev != vblock+1 {
+			if h.L1.Invalidate(prev - 1) {
+				h.stats.AliasInvalidates++
 			}
 		}
-		h.addResident(vblock, pblock)
+		h.resident[f] = vblock + 1
 	}
 
 	// Enforce Inclusion: every physical block replaced at L2 must leave
 	// L1 too.  If the invalidated line was not the slot just refilled,
 	// an L1 hole has been created (§3.3 cause 1); if the refill already
-	// displaced it, Invalidate finds nothing and no hole is counted —
-	// exactly the coincidence term (eq. viii) in the paper's model.
-	h.processInclusion(evicted)
+	// displaced it, the residency entry was cleared by OnEvict and no
+	// hole is counted — exactly the coincidence term (eq. viii) in the
+	// paper's model.
+	h.invalidateForInclusion(evictedAlias)
 }
 
-// processInclusion invalidates the L1 images of physical blocks evicted
+// captureEvictedAlias reads and clears the residency entry of the frame
+// an L2 fill just replaced, returning the (vblock+1) alias or 0.
+func (h *TwoLevel) captureEvictedAlias(l2res cache.Result) uint64 {
+	if !l2res.EvictedValid {
+		return 0
+	}
+	f := h.frame(l2res.Set, l2res.Way)
+	alias := h.resident[f]
+	h.resident[f] = 0
+	return alias
+}
+
+// invalidateForInclusion drops the L1 image of a physical block evicted
 // from L2, counting holes.
-func (h *TwoLevel) processInclusion(evicted []uint64) {
-	for _, evictedPhys := range evicted {
-		set, ok := h.l1Resident[evictedPhys]
-		if !ok {
-			continue
-		}
-		for victimV := range set {
-			if h.L1.Invalidate(victimV) {
-				h.stats.InclusionInvalidates++
-				h.stats.Holes++
-				h.holed[victimV] = struct{}{}
-			}
-		}
-		delete(h.l1Resident, evictedPhys)
+func (h *TwoLevel) invalidateForInclusion(alias uint64) {
+	if alias == 0 {
+		return
+	}
+	victimV := alias - 1
+	if h.L1.Invalidate(victimV) {
+		h.stats.InclusionInvalidates++
+		h.stats.Holes++
+		h.holed[victimV] = struct{}{}
 	}
 }
 
-// accessL2 performs the physical L2 access for vblock, returning the
-// physical blocks evicted by any fill.  A second L1-miss bookkeeping
-// note: L2 here is write-allocate for stores only if configured so.
-func (h *TwoLevel) accessL2(vblock uint64, write bool) []uint64 {
+// accessL2 performs the physical L2 access for vblock.  Any block its
+// fill displaced is reported in the returned Result (one fill evicts at
+// most one line, so no callback plumbing is needed).
+func (h *TwoLevel) accessL2(vblock uint64, write bool) cache.Result {
 	pblock := h.vblockToPhys(vblock)
-	var evicted []uint64
-	prev := h.L2.OnEvict
-	h.L2.OnEvict = func(b uint64, dirty bool) {
-		evicted = append(evicted, b)
-		if prev != nil {
-			prev(b, dirty)
-		}
-	}
 	res := h.L2.AccessBlock(pblock, write)
-	h.L2.OnEvict = prev
 	if res.Hit {
 		h.stats.L2Hits++
 	} else {
 		h.stats.L2Misses++
 	}
-	return evicted
+	return res
 }
 
 // ExternalInvalidate models a coherence invalidation for a physical
 // block arriving from another processor (§3.3 cause 3): the block is
 // dropped from L2 and from any virtual alias in L1.
 func (h *TwoLevel) ExternalInvalidate(pblock uint64) {
-	h.L2.Invalidate(pblock)
-	if set, ok := h.l1Resident[pblock]; ok {
-		for v := range set {
-			if h.L1.Invalidate(v) {
+	if w, s, ok := h.L2.Locate(pblock); ok {
+		f := h.frame(s, w)
+		if alias := h.resident[f]; alias != 0 {
+			if h.L1.Invalidate(alias - 1) {
 				h.stats.ExternalInvalidates++
 			}
+			h.resident[f] = 0
 		}
-		delete(h.l1Resident, pblock)
 	}
+	h.L2.Invalidate(pblock)
 }
 
 // CheckInclusion audits that every L1-resident block's physical image is

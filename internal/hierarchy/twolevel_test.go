@@ -263,3 +263,66 @@ func TestPageTablePanics(t *testing.T) {
 	}()
 	NewPageTable(2, 0)
 }
+
+func TestWritebackAccountingEndToEnd(t *testing.T) {
+	// Write-back dirty accounting through the hierarchy: stores written
+	// through a WT L1 dirty the WB L2; when the thrashing working set
+	// forces L2 replacements, those dirty lines must be written back and
+	// the matching L1 images invalidated for Inclusion — with the flat
+	// residency index staying consistent throughout.
+	h := New(testConfig(32 << 10))
+	r := rng.New(9)
+	for i := 0; i < 60000; i++ {
+		h.Access(uint64(r.Intn(1<<18)), r.Bool(0.4))
+	}
+	l2 := h.L2.Stats()
+	if l2.Writebacks == 0 {
+		t.Error("no L2 writebacks despite write-back L2 and store traffic")
+	}
+	if l2.Writebacks > l2.Evictions {
+		t.Errorf("writebacks (%d) exceed evictions (%d)", l2.Writebacks, l2.Evictions)
+	}
+	s := h.Stats()
+	if s.InclusionInvalidates == 0 {
+		t.Error("workload never exercised inclusion invalidation")
+	}
+	if v := h.CheckInclusion(); v != 0 {
+		t.Fatalf("inclusion violated: %d L1 lines missing from L2", v)
+	}
+}
+
+func TestResidencyIndexConsistency(t *testing.T) {
+	// White-box audit of the flat per-L2-frame residency index: every
+	// recorded alias must be L1-resident with its physical image in the
+	// frame that records it, and every L1-resident line must be recorded.
+	h := New(testConfig(32 << 10))
+	r := rng.New(12)
+	audit := func() {
+		recorded := 0
+		for f, alias := range h.resident {
+			if alias == 0 {
+				continue
+			}
+			recorded++
+			vblock := alias - 1
+			if !h.L1.Probe(vblock) {
+				t.Fatalf("frame %d records alias %#x not resident in L1", f, vblock)
+			}
+			pblock := h.vblockToPhys(vblock)
+			w, s, ok := h.L2.Locate(pblock)
+			if !ok || h.frame(s, w) != f {
+				t.Fatalf("frame %d records alias %#x whose physical image is elsewhere", f, vblock)
+			}
+		}
+		if got := h.L1.Occupancy(); got != recorded {
+			t.Fatalf("L1 holds %d lines but residency index records %d", got, recorded)
+		}
+	}
+	for i := 0; i < 20000; i++ {
+		h.Access(uint64(r.Intn(1<<18)), r.Bool(0.3))
+		if i%2500 == 0 {
+			audit()
+		}
+	}
+	audit()
+}

@@ -72,6 +72,7 @@ func (tw *Writer) Flush() error {
 type Reader struct {
 	r       *bufio.Reader
 	started bool
+	n       uint64 // records decoded so far, for error context
 	err     error
 }
 
@@ -106,7 +107,7 @@ func (tr *Reader) Next() (Rec, bool) {
 	var buf [recSize]byte
 	if _, err := io.ReadFull(tr.r, buf[:]); err != nil {
 		if err != io.EOF {
-			tr.err = fmt.Errorf("trace: truncated record: %w", err)
+			tr.err = fmt.Errorf("trace: record %d truncated: %w", tr.n, err)
 		}
 		return Rec{}, false
 	}
@@ -120,10 +121,15 @@ func (tr *Reader) Next() (Rec, bool) {
 		Src1:  buf[18],
 		Src2:  buf[19],
 	}
+	// Reject any op byte outside the defined classes: a corrupt record
+	// must surface as a decode error, not flow into the simulator as an
+	// out-of-range Op.
 	if !rec.Op.Valid() {
-		tr.err = fmt.Errorf("trace: invalid op %d", rec.Op)
+		tr.err = fmt.Errorf("trace: record %d: invalid op byte %#02x (op %d, have %d classes)",
+			tr.n, op, uint8(rec.Op), NumOps())
 		return Rec{}, false
 	}
+	tr.n++
 	return rec, true
 }
 

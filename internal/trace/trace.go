@@ -43,6 +43,9 @@ func (o Op) String() string {
 // Valid reports whether o names a defined op class.
 func (o Op) Valid() bool { return o < numOps }
 
+// NumOps returns the number of defined op classes.
+func NumOps() int { return int(numOps) }
+
 // IsMem reports whether the op accesses memory.
 func (o Op) IsMem() bool { return o == OpLoad || o == OpStore }
 

@@ -215,3 +215,68 @@ func TestMemOnly(t *testing.T) {
 		}
 	}
 }
+
+func TestReaderRejectsCorruptOpByte(t *testing.T) {
+	// A record whose op byte (after masking the taken bit) names no
+	// defined class must surface as a positioned decode error, not flow
+	// into the simulator as an out-of-range Op.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(Rec{PC: 1, Op: OpLoad, Addr: 0x40}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(Rec{PC: 2, Op: OpBranch, Taken: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Corrupt record 1's op byte: 8-byte magic + one 20-byte record, op
+	// at offset 16.  0x7F keeps the taken bit clear and is far outside
+	// the defined classes.
+	raw[8+20+16] = 0x7F
+	r := NewReader(bytes.NewReader(raw))
+	if _, ok := r.Next(); !ok {
+		t.Fatalf("record 0 should decode: %v", r.Err())
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("corrupt record decoded successfully")
+	}
+	err := r.Err()
+	if err == nil {
+		t.Fatal("corrupt record produced no error")
+	}
+	for _, want := range []string{"record 1", "invalid op"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+	// A high bit plus invalid class must also be rejected (0xFF masks to
+	// 0x7F with taken set).
+	raw[8+20+16] = 0xFF
+	r = NewReader(bytes.NewReader(raw))
+	r.Next()
+	if _, ok := r.Next(); ok || r.Err() == nil {
+		t.Error("taken-flagged corrupt op decoded successfully")
+	}
+}
+
+func TestReaderTruncatedRecordPositioned(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(Rec{Op: OpLoad, Addr: 0x40}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	r := NewReader(bytes.NewReader(raw[:len(raw)-3])) // cut mid-record
+	if _, ok := r.Next(); ok {
+		t.Fatal("truncated record decoded successfully")
+	}
+	if err := r.Err(); err == nil || !strings.Contains(err.Error(), "record 0 truncated") {
+		t.Errorf("error %v lacks truncation position", err)
+	}
+}
