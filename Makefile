@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-cache lint ci
+.PHONY: build test race bench bench-smoke bench-cache bench-trace fuzz-smoke lint ci
 
 build:
 	$(GO) build ./...
@@ -12,7 +12,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/runner/... ./internal/cli/... ./internal/experiments/...
+	$(GO) test -race ./internal/runner/... ./internal/cli/... ./internal/experiments/... ./internal/tracestore/...
 
 # Full benchmark sweep (minutes).
 bench:
@@ -30,8 +30,25 @@ bench-smoke:
 # file (rather than a pipe) keeps go test failures fatal.
 bench-cache:
 	$(GO) test -run '^$$' -bench 'BenchmarkCacheAccess|BenchmarkCacheAccessStream|BenchmarkHierarchy' -benchtime 1s . > bench_cache.txt
-	$(GO) run ./cmd/benchjson < bench_cache.txt > BENCH_cache.current.json
+	$(GO) run ./cmd/benchjson -suite cache < bench_cache.txt > BENCH_cache.current.json
 	@cat BENCH_cache.current.json
+
+# Trace-pipeline benchmarks: chunked generation, memoized store replay,
+# codec round-trip, CPU intake and the end-to-end `repro all` wall
+# clock.  Same archival scheme as bench-cache: BENCH_trace.current.json
+# is gitignored, the committed BENCH_trace.json is the curated
+# before/after record.
+bench-trace:
+	$(GO) test -run '^$$' -bench 'BenchmarkWorkloadGen|BenchmarkGeneratorChunk|BenchmarkMemOnlyChunk|BenchmarkTraceStoreReplay|BenchmarkTraceCodecChunk|BenchmarkCPUSim' -benchmem -benchtime 1s . > bench_trace.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkReproAll' -benchtime 1x . >> bench_trace.txt
+	$(GO) run ./cmd/benchjson -suite trace < bench_trace.txt > BENCH_trace.current.json
+	@cat BENCH_trace.current.json
+
+# Short native-fuzz smoke over the trace codec (one target per
+# invocation, as `go test -fuzz` requires).
+fuzz-smoke:
+	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime 10s
+	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzReaderCorrupt -fuzztime 10s
 
 lint:
 	$(GO) vet ./...

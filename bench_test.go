@@ -9,11 +9,15 @@
 package repro_test
 
 import (
+	"bytes"
+	"context"
 	"fmt"
+	"io"
 	"strings"
 	"testing"
 
 	"repro/internal/cache"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/experiments"
@@ -22,6 +26,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/rng"
 	"repro/internal/trace"
+	"repro/internal/tracestore"
 	"repro/internal/workload"
 )
 
@@ -314,19 +319,137 @@ func BenchmarkCPUSim(b *testing.B) {
 	prof, _ := workload.ByName("gcc")
 	cfg := cpu.DefaultConfig(cpu.PaperCache(8<<10, nil))
 	coreSim := cpu.New(cfg)
-	s := workload.Stream(prof, 42)
+	s := workload.Source(prof, 42)
 	b.ResetTimer()
-	res := coreSim.Run(&trace.Limit{S: s, N: b.N}, uint64(b.N))
+	res := coreSim.Run(&trace.Limit{S: s, N: uint64(b.N)}, uint64(b.N))
 	b.ReportMetric(res.IPC(), "simulated-IPC")
 }
 
-// BenchmarkWorkloadGen measures trace generation alone.
+// BenchmarkWorkloadGen measures trace generation through the legacy
+// record-at-a-time Stream interface — the baseline the chunked path is
+// measured against.
 func BenchmarkWorkloadGen(b *testing.B) {
 	prof, _ := workload.ByName("tomcatv")
 	s := workload.Stream(prof, 42)
 	for i := 0; i < b.N; i++ {
 		if _, ok := s.Next(); !ok {
 			b.Fatal("stream ended")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Trace-pipeline benchmarks (make bench-trace -> BENCH_trace.json)
+// ---------------------------------------------------------------------------
+
+// BenchmarkGeneratorChunk measures chunked trace production: iterations
+// emitted directly into the caller's buffer, no per-record interface
+// dispatch or copy-out.  The acceptance bar is 0 allocs and >= 2x the
+// BenchmarkWorkloadGen (Next) baseline; ns are per record.
+func BenchmarkGeneratorChunk(b *testing.B) {
+	for _, name := range []string{"tomcatv", "gcc"} {
+		prof, _ := workload.ByName(name)
+		b.Run(name, func(b *testing.B) {
+			g := workload.NewGenerator(prof, 42)
+			buf := make([]trace.Rec, 4096)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; {
+				want := len(buf)
+				if b.N-n < want {
+					want = b.N - n
+				}
+				k, _ := g.ReadChunk(buf[:want])
+				n += k
+			}
+		})
+	}
+}
+
+// BenchmarkMemOnlyChunk measures the full producer-side pipeline the
+// cache drivers consume: generation plus in-place memory filtering; ns
+// are per surviving memory record.
+func BenchmarkMemOnlyChunk(b *testing.B) {
+	prof, _ := workload.ByName("tomcatv")
+	src := &trace.MemOnly{S: workload.Source(prof, 42)}
+	buf := make([]trace.Rec, 4096)
+	b.ReportAllocs()
+	for n := 0; n < b.N; {
+		want := len(buf)
+		if b.N-n < want {
+			want = b.N - n
+		}
+		k, _ := src.ReadChunk(buf[:want])
+		n += k
+	}
+}
+
+// BenchmarkTraceStoreReplay measures a memoized replay from the packed
+// store against regenerating the trace; ns are per memory record.
+func BenchmarkTraceStoreReplay(b *testing.B) {
+	prof, _ := workload.ByName("tomcatv")
+	store := tracestore.New(tracestore.DefaultMaxBytes)
+	const chunk = 200_000
+	ctx := context.Background()
+	// Materialize once outside the timed region.
+	if err := store.ReplayMem(ctx, prof, 42, chunk, func([]trace.Rec) {}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n += chunk {
+		if err := store.ReplayMem(ctx, prof, 42, chunk, func([]trace.Rec) {}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if st := store.Stats(); st.Generations != 1 {
+		b.Fatalf("benchmark regenerated: %d generations", st.Generations)
+	}
+}
+
+// BenchmarkTraceCodecChunk measures the binary codec's chunked
+// encode+decode round trip; ns are per record.
+func BenchmarkTraceCodecChunk(b *testing.B) {
+	recs := make([]trace.Rec, 4096)
+	g := workload.NewGenerator(mustProf(b, "gcc"), 1)
+	g.ReadChunk(recs)
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	if err := w.WriteChunk(recs); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	out := make([]trace.Rec, 4096)
+	b.ResetTimer()
+	for n := 0; n < b.N; n += len(recs) {
+		r := trace.NewReader(bytes.NewReader(raw))
+		if k, _ := r.ReadChunk(out); k != len(recs) {
+			b.Fatalf("decoded %d records", k)
+		}
+	}
+}
+
+func mustProf(b *testing.B, name string) workload.Profile {
+	prof, ok := workload.ByName(name)
+	if !ok {
+		b.Fatalf("unknown profile %s", name)
+	}
+	return prof
+}
+
+// BenchmarkReproAll is the end-to-end wall clock of `repro all` at a
+// reduced -instructions scale: every experiment driver, the parallel
+// runner and the memoized trace store together, via the real CLI entry
+// point.  Run with -benchtime 1x for the per-PR BENCH_trace.json record.
+func BenchmarkReproAll(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		code := cli.Run(context.Background(),
+			[]string{"all", "-instructions", "20000", "-maxstride", "512"},
+			io.Discard, io.Discard)
+		if code != 0 {
+			b.Fatalf("repro all exited %d", code)
 		}
 	}
 }

@@ -1,15 +1,18 @@
 // Command benchjson converts `go test -bench` output on stdin into a
 // machine-readable JSON document on stdout, so CI can archive benchmark
-// results (BENCH_cache.json) and track the perf trajectory per PR.
+// results (BENCH_cache.json, BENCH_trace.json) and track the perf
+// trajectory per PR.  The optional -suite flag names the benchmark
+// suite in the report so archived documents are self-describing.
 //
 // Usage:
 //
-//	go test -run '^$' -bench 'CacheAccess|Hierarchy' . | go run ./cmd/benchjson > BENCH_cache.json
+//	go test -run '^$' -bench 'CacheAccess|Hierarchy' . | go run ./cmd/benchjson -suite cache > BENCH_cache.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -26,6 +29,7 @@ type Benchmark struct {
 
 // Report is the whole document.
 type Report struct {
+	Suite      string      `json:"suite,omitempty"`
 	Goos       string      `json:"goos,omitempty"`
 	Goarch     string      `json:"goarch,omitempty"`
 	Pkg        string      `json:"pkg,omitempty"`
@@ -34,7 +38,9 @@ type Report struct {
 }
 
 func main() {
-	rep := Report{Benchmarks: []Benchmark{}}
+	suite := flag.String("suite", "", "suite name recorded in the report (e.g. cache, trace)")
+	flag.Parse()
+	rep := Report{Suite: *suite, Benchmarks: []Benchmark{}}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
 	for sc.Scan() {

@@ -25,15 +25,18 @@ func main() {
 	for _, prof := range workload.Suite() {
 		ca := cache.NewColumnAssociative(8<<10, 32, p, 19)
 		dm := cache.New(cache.Config{Size: 8 << 10, BlockSize: 32, Ways: 1, WriteAllocate: false})
-		s := &trace.MemOnly{S: workload.Stream(prof, 1997)}
-		for i := 0; i < 150_000; i++ {
-			r, ok := s.Next()
-			if !ok {
+		s := &trace.Limit{S: &trace.MemOnly{S: workload.Source(prof, 1997)}, N: 150_000}
+		buf := make([]trace.Rec, 4096)
+		for {
+			k, eof := s.ReadChunk(buf)
+			for i := 0; i < k; i++ {
+				w := buf[i].Op == trace.OpStore
+				ca.Access(buf[i].Addr, w)
+				dm.Access(buf[i].Addr, w)
+			}
+			if eof {
 				break
 			}
-			w := r.Op == trace.OpStore
-			ca.Access(r.Addr, w)
-			dm.Access(r.Addr, w)
 		}
 		fmt.Printf("%-10s %11.2f%% %11.2f%% %11.1f%% %14.3f\n",
 			prof.Name,

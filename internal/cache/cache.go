@@ -530,24 +530,27 @@ func (c *Cache) AccessStream(recs []trace.Rec) uint64 {
 	return n
 }
 
-// ReplayStream drains up to max records (0 = no limit) from s through
-// the cache, skipping non-memory records, and returns the number of
-// records consumed from the stream.
-func (c *Cache) ReplayStream(s trace.Stream, max uint64) uint64 {
-	off := uint(c.offBits)
+// ReplaySource drains up to max records (0 = no limit) from s through
+// the cache in chunks, skipping non-memory records, and returns the
+// number of records consumed from the source.
+func (c *Cache) ReplaySource(s trace.Source, max uint64) uint64 {
+	buf := make([]trace.Rec, 4096)
 	var consumed uint64
-	for max == 0 || consumed < max {
-		r, ok := s.Next()
-		if !ok {
-			break
+	for {
+		want := uint64(len(buf))
+		if max != 0 && max-consumed < want {
+			want = max - consumed
 		}
-		consumed++
-		if r.Op != trace.OpLoad && r.Op != trace.OpStore {
-			continue
+		if want == 0 {
+			return consumed
 		}
-		c.AccessBlock(r.Addr>>off, r.Op == trace.OpStore)
+		n, eof := s.ReadChunk(buf[:want])
+		c.AccessStream(buf[:n])
+		consumed += uint64(n)
+		if eof {
+			return consumed
+		}
 	}
-	return consumed
 }
 
 // replayMemRecs drives the load/store records of recs in order through

@@ -290,10 +290,10 @@ func TestAccessStreamMatchesScalar(t *testing.T) {
 	}
 
 	streamed := New(cfg)
-	if n := streamed.ReplayStream(trace.NewSliceStream(recs), 0); n != uint64(len(recs)) {
-		t.Fatalf("ReplayStream consumed %d records, want %d", n, len(recs))
+	if n := streamed.ReplaySource(trace.NewSliceSource(recs), 0); n != uint64(len(recs)) {
+		t.Fatalf("ReplaySource consumed %d records, want %d", n, len(recs))
 	}
 	if scalar.Stats() != streamed.Stats() {
-		t.Errorf("ReplayStream diverged:\nscalar   %+v\nstreamed %+v", scalar.Stats(), streamed.Stats())
+		t.Errorf("ReplaySource diverged:\nscalar   %+v\nstreamed %+v", scalar.Stats(), streamed.Stats())
 	}
 }

@@ -123,7 +123,7 @@ func tracegenMain(ctx context.Context, args []string, stdout, stderr io.Writer) 
 	fs := flag.NewFlagSet("repro tracegen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	bench := fs.String("bench", "tomcatv", "benchmark profile name (see workload.Suite)")
-	n := fs.Int("n", 100_000, "instructions to emit")
+	n := fs.Uint64("n", 100_000, "instructions to emit")
 	seed := fs.Uint64("seed", 1997, "generator seed")
 	out := fs.String("o", "", "output file (default <bench>.trace)")
 	text := fs.Bool("text", false, "write text format instead of binary")
@@ -148,9 +148,9 @@ func tracegenMain(ctx context.Context, args []string, stdout, stderr io.Writer) 
 		}
 	}
 
-	var s trace.Stream = &trace.Limit{S: workload.Stream(prof, *seed), N: *n}
+	var s trace.Source = &trace.Limit{S: workload.Source(prof, *seed), N: *n}
 	if *memOnly {
-		s = &trace.Limit{S: &trace.MemOnly{S: workload.Stream(prof, *seed)}, N: *n}
+		s = &trace.Limit{S: &trace.MemOnly{S: workload.Source(prof, *seed)}, N: *n}
 	}
 
 	f, err := os.Create(path)
@@ -169,21 +169,25 @@ func tracegenMain(ctx context.Context, args []string, stdout, stderr io.Writer) 
 		}
 		count = len(recs)
 	} else {
+		// Chunked generate-encode loop: the generator fills buf in place
+		// and the writer encodes the whole batch, so memory stays bounded
+		// at one chunk regardless of -n.
 		w := trace.NewWriter(f)
+		buf := make([]trace.Rec, 4096)
 		for {
-			if count&0xFFF == 0 && ctx.Err() != nil {
+			if ctx.Err() != nil {
 				fmt.Fprintf(stderr, "tracegen: %v\n", ctx.Err())
 				return 1
 			}
-			r, ok := s.Next()
-			if !ok {
-				break
-			}
-			if err := w.Write(r); err != nil {
+			k, eof := s.ReadChunk(buf)
+			if err := w.WriteChunk(buf[:k]); err != nil {
 				fmt.Fprintf(stderr, "tracegen: %v\n", err)
 				return 1
 			}
-			count++
+			count += k
+			if eof {
+				break
+			}
 		}
 		if err := w.Flush(); err != nil {
 			fmt.Fprintf(stderr, "tracegen: %v\n", err)
@@ -243,23 +247,26 @@ func tracesimMain(ctx context.Context, args []string, stdout, stderr io.Writer) 
 	}
 	defer f.Close()
 
+	// Chunked decode-replay loop: the reader decodes record batches and
+	// the memory filter compacts them in place before the cache replay.
 	r := trace.NewReader(f)
+	src := &trace.MemOnly{S: r}
+	buf := make([]trace.Rec, 4096)
 	n := 0
 	for {
-		if n&0xFFF == 0 && ctx.Err() != nil {
+		if ctx.Err() != nil {
 			fmt.Fprintf(stderr, "tracesim: %v\n", ctx.Err())
 			return 1
 		}
-		rec, ok := r.Next()
-		if !ok {
+		k, eof := src.ReadChunk(buf)
+		for i := 0; i < k; i++ {
+			res := c.Access(buf[i].Addr, buf[i].Op == trace.OpStore)
+			cl.Observe(c.Block(buf[i].Addr), !res.Hit)
+		}
+		n += k
+		if eof {
 			break
 		}
-		if !rec.Op.IsMem() {
-			continue
-		}
-		res := c.Access(rec.Addr, rec.Op == trace.OpStore)
-		cl.Observe(c.Block(rec.Addr), !res.Hit)
-		n++
 	}
 	if err := r.Err(); err != nil {
 		fmt.Fprintf(stderr, "tracesim: %v\n", err)

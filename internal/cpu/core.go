@@ -101,12 +101,19 @@ type Core struct {
 	fetchStall uint64 // no dispatch until clock >= fetchStall
 	stalledOn  int    // ROB slot of unresolved mispredicted branch, -1 none
 
-	stream    trace.Stream
-	peeked    *trace.Rec
-	streamEOF bool
+	// Chunked trace intake: records are pulled from src in batches into
+	// chunk and consumed through chunkPos, so the per-record cost is one
+	// bounds check instead of an interface dispatch plus a Rec copy.
+	src      trace.Source
+	chunk    []trace.Rec
+	chunkPos int
+	srcEOF   bool
 
 	res Result
 }
+
+// coreChunk is the trace intake batch size.
+const coreChunk = 1024
 
 // New builds a core from cfg.
 func New(cfg Config) *Core {
@@ -150,16 +157,17 @@ func New(cfg Config) *Core {
 // Cache exposes the simulated L1 for inspection.
 func (c *Core) Cache() *cache.Cache { return c.cache }
 
-// Run simulates until maxInstrs instructions commit or the stream ends,
+// Run simulates until maxInstrs instructions commit or the source ends,
 // returning the result summary.
-func (c *Core) Run(s trace.Stream, maxInstrs uint64) Result {
-	c.stream = s
+func (c *Core) Run(s trace.Source, maxInstrs uint64) Result {
+	c.src = s
+	c.chunk = make([]trace.Rec, 0, coreChunk)
 	for c.res.Instructions < maxInstrs {
 		c.commit()
 		c.issue()
 		c.dispatch()
 		c.clock++
-		if c.streamEOF && c.robCount == 0 {
+		if c.srcEOF && c.chunkPos >= len(c.chunk) && c.robCount == 0 {
 			break
 		}
 		// Safety valve against pathological livelock in experiments.
@@ -178,24 +186,28 @@ func (c *Core) Run(s trace.Stream, maxInstrs uint64) Result {
 	return c.res
 }
 
-// next returns the next trace record without consuming it.
+// peek returns the next trace record without consuming it, refilling
+// the intake chunk from the source as needed.
 func (c *Core) peek() (trace.Rec, bool) {
-	if c.peeked != nil {
-		return *c.peeked, true
+	if c.chunkPos < len(c.chunk) {
+		return c.chunk[c.chunkPos], true
 	}
-	if c.streamEOF {
+	if c.srcEOF {
 		return trace.Rec{}, false
 	}
-	r, ok := c.stream.Next()
-	if !ok {
-		c.streamEOF = true
+	n, eof := c.src.ReadChunk(c.chunk[:coreChunk])
+	c.chunk = c.chunk[:n]
+	c.chunkPos = 0
+	if eof {
+		c.srcEOF = true
+	}
+	if n == 0 {
 		return trace.Rec{}, false
 	}
-	c.peeked = &r
-	return r, true
+	return c.chunk[0], true
 }
 
-func (c *Core) consume() { c.peeked = nil }
+func (c *Core) consume() { c.chunkPos++ }
 
 // dispatch renames and inserts up to Width instructions into the ROB.
 func (c *Core) dispatch() {

@@ -185,8 +185,8 @@ func TestXorPenaltyCostsIPC(t *testing.T) {
 	xor := base
 	xor.XorInCP = true
 
-	r1 := New(base).Run(&trace.Limit{S: workload.Stream(prof, 5), N: 60000}, 60000)
-	r2 := New(xor).Run(&trace.Limit{S: workload.Stream(prof, 5), N: 60000}, 60000)
+	r1 := New(base).Run(&trace.Limit{S: workload.Source(prof, 5), N: 60000}, 60000)
+	r2 := New(xor).Run(&trace.Limit{S: workload.Source(prof, 5), N: 60000}, 60000)
 	if r2.IPC() >= r1.IPC() {
 		t.Errorf("XOR-in-CP IPC %.3f not below no-penalty IPC %.3f", r2.IPC(), r1.IPC())
 	}
@@ -205,9 +205,9 @@ func TestAddrPredictionRecoversXorPenalty(t *testing.T) {
 	inCPPred.AddrPred = true
 
 	n := uint64(80000)
-	rNo := New(noCP).Run(&trace.Limit{S: workload.Stream(prof, 9), N: int(n)}, n)
-	rIn := New(inCP).Run(&trace.Limit{S: workload.Stream(prof, 9), N: int(n)}, n)
-	rPred := New(inCPPred).Run(&trace.Limit{S: workload.Stream(prof, 9), N: int(n)}, n)
+	rNo := New(noCP).Run(&trace.Limit{S: workload.Source(prof, 9), N: n}, n)
+	rIn := New(inCP).Run(&trace.Limit{S: workload.Source(prof, 9), N: n}, n)
+	rPred := New(inCPPred).Run(&trace.Limit{S: workload.Source(prof, 9), N: n}, n)
 
 	if rIn.IPC() >= rNo.IPC() {
 		t.Errorf("XOR penalty did not cost anything: %.3f vs %.3f", rIn.IPC(), rNo.IPC())
@@ -230,8 +230,8 @@ func TestIPolyBeatsConventionalOnBadProgram(t *testing.T) {
 	conv := DefaultConfig(PaperCache(8<<10, nil))
 	ipoly := DefaultConfig(PaperCache(8<<10, index.NewIPolyDefault(2, 7, 19)))
 	n := uint64(80000)
-	rc := New(conv).Run(&trace.Limit{S: workload.Stream(prof, 13), N: int(n)}, n)
-	ri := New(ipoly).Run(&trace.Limit{S: workload.Stream(prof, 13), N: int(n)}, n)
+	rc := New(conv).Run(&trace.Limit{S: workload.Source(prof, 13), N: n}, n)
+	ri := New(ipoly).Run(&trace.Limit{S: workload.Source(prof, 13), N: n}, n)
 	if ri.MissRatio() >= rc.MissRatio()/2 {
 		t.Errorf("I-Poly miss %.3f vs conventional %.3f: expected large reduction",
 			ri.MissRatio(), rc.MissRatio())
@@ -244,8 +244,8 @@ func TestIPolyBeatsConventionalOnBadProgram(t *testing.T) {
 func TestDeterminism(t *testing.T) {
 	prof, _ := workload.ByName("gcc")
 	cfg := DefaultConfig(PaperCache(8<<10, nil))
-	a := New(cfg).Run(&trace.Limit{S: workload.Stream(prof, 3), N: 30000}, 30000)
-	b := New(cfg).Run(&trace.Limit{S: workload.Stream(prof, 3), N: 30000}, 30000)
+	a := New(cfg).Run(&trace.Limit{S: workload.Source(prof, 3), N: 30000}, 30000)
+	b := New(cfg).Run(&trace.Limit{S: workload.Source(prof, 3), N: 30000}, 30000)
 	if a != b {
 		t.Errorf("two identical runs diverged:\n%+v\n%+v", a, b)
 	}

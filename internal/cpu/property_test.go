@@ -74,7 +74,7 @@ func TestPointerChaseDefeatsAddressPrediction(t *testing.T) {
 	cfg.AddrPred = true
 	cfg.XorInCP = true
 	chase := workload.NewPointerChaseStream(0, 1<<20, 4096, 64, 9)
-	res := New(cfg).Run(&trace.Limit{S: chase, N: 40000}, 40000)
+	res := New(cfg).Run(&trace.Limit{S: trace.SourceOf(chase), N: 40000}, 40000)
 	if res.Instructions != 40000 {
 		t.Fatalf("committed %d", res.Instructions)
 	}
@@ -89,9 +89,9 @@ func TestTraceDrivenEquivalence(t *testing.T) {
 	// result as streaming it directly (the Stream abstraction is
 	// transparent).
 	prof, _ := workload.ByName("li")
-	recs := trace.Collect(&trace.Limit{S: workload.Stream(prof, 5), N: 20000}, 0)
+	recs := trace.Collect(&trace.Limit{S: workload.Source(prof, 5), N: 20000}, 0)
 	a := New(defaultTestConfig()).Run(trace.NewSliceStream(recs), 20000)
-	b := New(defaultTestConfig()).Run(&trace.Limit{S: workload.Stream(prof, 5), N: 20000}, 20000)
+	b := New(defaultTestConfig()).Run(&trace.Limit{S: workload.Source(prof, 5), N: 20000}, 20000)
 	if a != b {
 		t.Errorf("slice replay and direct stream diverged:\n%+v\n%+v", a, b)
 	}

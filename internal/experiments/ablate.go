@@ -45,22 +45,20 @@ type AblateResult struct {
 
 // badMiss runs the three bad programs' memory traces through a cache
 // built by mk and returns the mean load miss ratio (%).
-func badMiss(o Options, mk func() *cache.Cache) float64 {
+func badMiss(ctx context.Context, o Options, mk func() *cache.Cache) (float64, error) {
 	var ratios []float64
 	for _, name := range workload.BadPrograms() {
 		prof, _ := workload.ByName(name)
 		c := mk()
-		s := &trace.MemOnly{S: workload.Stream(prof, o.Seed)}
-		for i := uint64(0); i < o.Instructions; i++ {
-			r, ok := s.Next()
-			if !ok {
-				break
-			}
-			c.Access(r.Addr, r.Op == trace.OpStore)
+		err := forEachMemChunk(ctx, prof, o.Seed, o.Instructions, func(recs []trace.Rec) {
+			c.AccessStream(recs)
+		})
+		if err != nil {
+			return 0, err
 		}
 		ratios = append(ratios, 100*c.Stats().ReadMissRatio())
 	}
-	return stats.Mean(ratios)
+	return stats.Mean(ratios), nil
 }
 
 func cache8K(p index.Placement, repl cache.ReplPolicy) *cache.Cache {
@@ -101,7 +99,7 @@ func RunAblateCtx(ctx context.Context, o Options) (AblateResult, error) {
 		jobs = append(jobs, runner.KeyedJob("ablate/"+key, fn))
 	}
 	addBadMiss := func(key string, mk func() *cache.Cache) {
-		add(key, func(*runner.Ctx) (float64, error) { return badMiss(o, mk), nil })
+		add(key, func(c *runner.Ctx) (float64, error) { return badMiss(c, o, mk) })
 	}
 
 	// Irreducible vs reducible modulus; skewed (= irreducible) vs
@@ -139,7 +137,7 @@ func RunAblateCtx(ctx context.Context, o Options) (AblateResult, error) {
 		add(fmt.Sprintf("mshrs=%d", n), func(*runner.Ctx) (float64, error) {
 			cfg := cpu.DefaultConfig(cpu.PaperCache(8<<10, nil))
 			cfg.MSHRs = n
-			r := cpu.New(cfg).Run(&trace.Limit{S: workload.Stream(swim, o.Seed), N: int(o.Instructions)}, o.Instructions)
+			r := cpu.New(cfg).Run(limitedSource(swim, o.Seed, o.Instructions), o.Instructions)
 			return r.IPC(), nil
 		})
 	}
@@ -161,7 +159,7 @@ func RunAblateCtx(ctx context.Context, o Options) (AblateResult, error) {
 			var ipcs []float64
 			for _, name := range workload.BadPrograms() {
 				prof, _ := workload.ByName(name)
-				r := cpu.New(cfg).Run(&trace.Limit{S: workload.Stream(prof, o.Seed), N: int(o.Instructions)}, o.Instructions)
+				r := cpu.New(cfg).Run(limitedSource(prof, o.Seed, o.Instructions), o.Instructions)
 				ipcs = append(ipcs, r.IPC())
 			}
 			return stats.GeoMean(ipcs), nil
@@ -178,7 +176,7 @@ func RunAblateCtx(ctx context.Context, o Options) (AblateResult, error) {
 			cfg.XorInCP = true
 			cfg.AddrPred = true
 			cfg.APredEntries = n
-			r := cpu.New(cfg).Run(&trace.Limit{S: workload.Stream(tom, o.Seed), N: int(o.Instructions)}, o.Instructions)
+			r := cpu.New(cfg).Run(limitedSource(tom, o.Seed, o.Instructions), o.Instructions)
 			return r.IPC(), nil
 		})
 	}

@@ -48,18 +48,12 @@ func RunColAssocCtx(ctx context.Context, o Options) (ColAssocResult, error) {
 				swap := cache.NewColumnAssociative(8<<10, 32, p, 19)
 				noswap := cache.NewColumnAssociative(8<<10, 32, p, 19)
 				noswap.Swap = false
-				s := &trace.MemOnly{S: workload.Stream(prof, o.Seed)}
-				for i := uint64(0); i < o.Instructions; i++ {
-					if i&0x3FFF == 0 && c.Err() != nil {
-						return caCell{}, c.Err()
-					}
-					r, ok := s.Next()
-					if !ok {
-						break
-					}
-					w := r.Op == trace.OpStore
-					swap.Access(r.Addr, w)
-					noswap.Access(r.Addr, w)
+				err := forEachMemChunk(c, prof, o.Seed, o.Instructions, func(recs []trace.Rec) {
+					swap.AccessStream(recs)
+					noswap.AccessStream(recs)
+				})
+				if err != nil {
+					return caCell{}, err
 				}
 				return caCell{
 					firstProbe: swap.FirstProbeHitRate(),

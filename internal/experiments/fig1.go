@@ -58,14 +58,13 @@ func fig1Stride(place index.Placement, stride uint64, rounds int, recs []trace.R
 		Placement: place, WriteAllocate: false,
 	})
 	ss := workload.NewStrideStream(0, stride*8, elems, rounds)
-	recs = recs[:0]
-	for {
-		r, ok := ss.Next()
-		if !ok {
-			break
-		}
-		recs = append(recs, r)
+	if total := ss.Total(); cap(recs) < total {
+		recs = make([]trace.Rec, total)
+	} else {
+		recs = recs[:total]
 	}
+	n, _ := ss.ReadChunk(recs)
+	recs = recs[:n]
 	// Warm-up round excluded from the measured ratio.
 	c.AccessStream(recs[:elems])
 	c.ResetStats()

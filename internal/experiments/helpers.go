@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/cache"
 	"repro/internal/gf2"
 	"repro/internal/hierarchy"
 	"repro/internal/index"
-	"repro/internal/runner"
 	"repro/internal/trace"
+	"repro/internal/tracestore"
 	"repro/internal/workload"
 )
 
@@ -32,37 +34,28 @@ func newDMForExperiment() *cache.Cache {
 	return cache.New(cache.Config{Size: 8 << 10, BlockSize: 32, Ways: 1, WriteAllocate: false})
 }
 
-// memChunkLen bounds the record buffer of forEachMemChunk so streaming
-// batch replay keeps O(1) memory regardless of -instructions.
-const memChunkLen = 1 << 14
+// memTraces is the memoized trace store behind forEachMemChunk.  It is
+// the process-wide default so one `repro all` run generates each
+// (profile, seed) memory trace exactly once across all drivers; tests
+// swap in private stores to observe hit counts.
+var memTraces = tracestore.Default
 
 // forEachMemChunk streams up to max memory records of the benchmark's
 // trace through fn in bounded in-order chunks, checking for
 // cancellation between chunks.  Replaying each chunk through a set of
 // independent caches preserves every cache's access order, so results
-// are identical to a record-at-a-time pass.
-func forEachMemChunk(c *runner.Ctx, prof workload.Profile, seed, max uint64, fn func(recs []trace.Rec)) error {
-	s := &trace.MemOnly{S: workload.Stream(prof, seed)}
-	buf := make([]trace.Rec, 0, memChunkLen)
-	var n uint64
-	eof := false
-	for n < max && !eof {
-		if c.Err() != nil {
-			return c.Err()
-		}
-		buf = buf[:0]
-		for len(buf) < memChunkLen && n < max {
-			r, ok := s.Next()
-			if !ok {
-				eof = true
-				break
-			}
-			buf = append(buf, r)
-			n++
-		}
-		if len(buf) > 0 {
-			fn(buf)
-		}
-	}
-	return nil
+// are identical to a record-at-a-time pass.  The records come from the
+// memoized trace store: the first driver to touch a (profile, seed)
+// generates it, every later driver replays the packed copy.  Delivered
+// records carry Op and Addr only (PC and register fields are zero on
+// both the memoized and the streamed path) — the view every cache-level
+// consumer reads.
+func forEachMemChunk(ctx context.Context, prof workload.Profile, seed, max uint64, fn func(recs []trace.Rec)) error {
+	return memTraces.ReplayMem(ctx, prof, seed, max, fn)
+}
+
+// limitedSource returns the first max instructions of the benchmark's
+// chunked trace — the full-trace view the CPU-level drivers consume.
+func limitedSource(prof workload.Profile, seed, max uint64) trace.Source {
+	return &trace.Limit{S: workload.Source(prof, seed), N: max}
 }

@@ -84,8 +84,8 @@ func RunHolesCtx(ctx context.Context, o Options) (HolesResult, error) {
 				}
 				h := hierarchy.New(cfg)
 				r := rng.New(o.Seed)
-				n := int(o.Instructions) * 2
-				for i := 0; i < n; i++ {
+				n := 2 * o.Instructions
+				for i := uint64(0); i < n; i++ {
 					if i&0xFFFF == 0 && c.Err() != nil {
 						return HolesRow{}, c.Err()
 					}
@@ -126,16 +126,13 @@ func RunHolesCtx(ctx context.Context, o Options) (HolesResult, error) {
 					ScrambleSeed: o.Seed,
 				}
 				h := hierarchy.New(cfg)
-				s := &trace.MemOnly{S: workload.Stream(prof, o.Seed)}
-				for i := uint64(0); i < o.Instructions; i++ {
-					if i&0x3FFF == 0 && c.Err() != nil {
-						return suiteCell{}, c.Err()
+				err := forEachMemChunk(c, prof, o.Seed, o.Instructions, func(recs []trace.Rec) {
+					for i := range recs {
+						h.Access(recs[i].Addr, recs[i].Op == trace.OpStore)
 					}
-					r, ok := s.Next()
-					if !ok {
-						break
-					}
-					h.Access(r.Addr, r.Op == trace.OpStore)
+				})
+				if err != nil {
+					return suiteCell{}, err
 				}
 				st := h.Stats()
 				cell := suiteCell{rate: st.HoleRate()}

@@ -59,7 +59,7 @@ func RunOptions31Ctx(ctx context.Context, o Options) (Options31Result, error) {
 		return runner.Job{
 			Key: "options31/" + opt + "/" + name,
 			Run: func(*runner.Ctx) (any, error) {
-				r := cpu.New(cfg).Run(&trace.Limit{S: workload.Stream(prof, o.Seed), N: int(o.Instructions)}, o.Instructions)
+				r := cpu.New(cfg).Run(limitedSource(prof, o.Seed, o.Instructions), o.Instructions)
 				return r.IPC(), nil
 			}}
 	}
@@ -78,16 +78,13 @@ func RunOptions31Ctx(ctx context.Context, o Options) (Options31Result, error) {
 				} else {
 					a.SetSegment("data", 4<<10)
 				}
-				s := &trace.MemOnly{S: workload.Stream(prof, o.Seed)}
-				for i := uint64(0); i < o.Instructions; i++ {
-					if i&0x3FFF == 0 && c.Err() != nil {
-						return nil, c.Err()
+				err := forEachMemChunk(c, prof, o.Seed, o.Instructions, func(recs []trace.Rec) {
+					for i := range recs {
+						a.Access(recs[i].Addr, recs[i].Op == trace.OpStore)
 					}
-					r, ok := s.Next()
-					if !ok {
-						break
-					}
-					a.Access(r.Addr, r.Op == trace.OpStore)
+				})
+				if err != nil {
+					return nil, err
 				}
 				st := a.Stats()
 				return 100 * stats.Ratio(st.ReadMisses, st.ReadHits+st.ReadMisses), nil
@@ -123,18 +120,12 @@ func RunOptions31Ctx(ctx context.Context, o Options) (Options31Result, error) {
 			Run: func(c *runner.Ctx) (any, error) {
 				ca := newColAssocForExperiment()
 				plain := newDMForExperiment()
-				s := &trace.MemOnly{S: workload.Stream(prof, o.Seed)}
-				for i := uint64(0); i < o.Instructions; i++ {
-					if i&0x3FFF == 0 && c.Err() != nil {
-						return nil, c.Err()
-					}
-					r, ok := s.Next()
-					if !ok {
-						break
-					}
-					w := r.Op == trace.OpStore
-					ca.Access(r.Addr, w)
-					plain.Access(r.Addr, w)
+				err := forEachMemChunk(c, prof, o.Seed, o.Instructions, func(recs []trace.Rec) {
+					ca.AccessStream(recs)
+					plain.AccessStream(recs)
+				})
+				if err != nil {
+					return nil, err
 				}
 				return caPair{
 					col: 100 * ca.Stats().ReadMissRatio(),

@@ -9,7 +9,6 @@ import (
 	"repro/internal/index"
 	"repro/internal/runner"
 	"repro/internal/stats"
-	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -97,8 +96,7 @@ func RunTable2Ctx(ctx context.Context, o Options) (Table2Result, error) {
 			jobs = append(jobs, runner.KeyedJob(
 				fmt.Sprintf("table2/%s/%s", prof.Name, key),
 				func(*runner.Ctx) (t2Cell, error) {
-					s := &trace.Limit{S: workload.Stream(prof, o.Seed), N: int(o.Instructions)}
-					r := cpu.New(cfg).Run(s, o.Instructions)
+					r := cpu.New(cfg).Run(limitedSource(prof, o.Seed, o.Instructions), o.Instructions)
 					return t2Cell{ipc: r.IPC(), miss: 100 * r.MissRatio()}, nil
 				}))
 		}

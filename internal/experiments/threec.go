@@ -50,35 +50,32 @@ func threeCBench(ctx context.Context, o Options, prof workload.Profile, place in
 		Placement: place, WriteAllocate: false,
 	})
 	cl := cache.NewClassifier(256)
-	s := &trace.MemOnly{S: workload.Stream(prof, o.Seed)}
 	loads := uint64(0)
 	var brk cache.MissBreakdown
-	for i := uint64(0); i < o.Instructions; i++ {
-		if i&0x3FFF == 0 && ctx.Err() != nil {
-			return ThreeCRow{}, ctx.Err()
-		}
-		r, ok := s.Next()
-		if !ok {
-			break
-		}
-		write := r.Op == trace.OpStore
-		hit := c.Access(r.Addr, write).Hit
-		if write {
-			// Stores are write-through/no-allocate; classify loads
-			// only, as the paper's tables report load misses.
-			continue
-		}
-		loads++
-		if kind, missed := cl.Observe(c.Block(r.Addr), !hit); missed {
-			switch kind {
-			case cache.MissCompulsory:
-				brk.Compulsory++
-			case cache.MissCapacity:
-				brk.Capacity++
-			case cache.MissConflict:
-				brk.Conflict++
+	err := forEachMemChunk(ctx, prof, o.Seed, o.Instructions, func(recs []trace.Rec) {
+		for i := range recs {
+			write := recs[i].Op == trace.OpStore
+			hit := c.Access(recs[i].Addr, write).Hit
+			if write {
+				// Stores are write-through/no-allocate; classify loads
+				// only, as the paper's tables report load misses.
+				continue
+			}
+			loads++
+			if kind, missed := cl.Observe(c.Block(recs[i].Addr), !hit); missed {
+				switch kind {
+				case cache.MissCompulsory:
+					brk.Compulsory++
+				case cache.MissCapacity:
+					brk.Capacity++
+				case cache.MissConflict:
+					brk.Conflict++
+				}
 			}
 		}
+	})
+	if err != nil {
+		return ThreeCRow{}, err
 	}
 	pct := func(n uint64) float64 {
 		if loads == 0 {

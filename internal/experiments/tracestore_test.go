@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/tracestore"
+	"repro/internal/workload"
+)
+
+// TestDriversShareOneGenerationPass is the `repro all` memoization
+// contract: every memory-trace driver in a run pulls each (profile,
+// seed) trace from the store, so the whole sequence of drivers costs
+// exactly one generation pass per benchmark — not one per driver, let
+// alone one per design point.
+//
+// The test swaps in a private store (restored on exit) and runs the
+// five chunk-replay drivers back to back, mimicking `repro all`.
+func TestDriversShareOneGenerationPass(t *testing.T) {
+	saved := memTraces
+	memTraces = tracestore.New(tracestore.DefaultMaxBytes)
+	defer func() { memTraces = saved }()
+
+	o := Options{Instructions: 4_000, Seed: 7, Fig1Rounds: 5, MaxStride: 300}
+	ctx := context.Background()
+	for _, run := range []func() error{
+		func() error { _, err := RunOrgsCtx(ctx, o); return err },
+		func() error { _, err := RunStdDevCtx(ctx, o); return err },
+		func() error { _, err := RunSweepCtx(ctx, o); return err },
+		func() error { _, err := RunThreeCCtx(ctx, o); return err },
+		func() error { _, err := RunColAssocCtx(ctx, o); return err },
+	} {
+		if err := run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := memTraces.Stats()
+	suite := uint64(len(workload.Suite()))
+	if st.Generations != suite {
+		t.Errorf("five drivers cost %d generation passes, want %d (one per profile)",
+			st.Generations, suite)
+	}
+	if st.Streamed != 0 {
+		t.Errorf("streamed=%d, want 0 at this scale", st.Streamed)
+	}
+	// Every driver after the first is pure hits: orgs+stddev+sweep+
+	// colassoc touch each profile once, threec twice (two schemes).
+	wantTouches := uint64(6) * suite
+	if st.Hits+st.Misses != wantTouches {
+		t.Errorf("store saw %d touches (hits %d + misses %d), want %d",
+			st.Hits+st.Misses, st.Hits, st.Misses, wantTouches)
+	}
+}

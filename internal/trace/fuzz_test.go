@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCodecRoundTrip drives arbitrary records through the binary writer
+// and reader (both the record-at-a-time and the chunked paths) and
+// requires a lossless round trip.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add(uint64(0x1000), uint64(0x40), uint8(0), uint8(1), uint8(2), uint8(3), true, uint8(4))
+	f.Add(uint64(0), uint64(0), uint8(9), uint8(31), uint8(0), uint8(0), false, uint8(1))
+	f.Add(^uint64(0), ^uint64(0), uint8(7), uint8(255), uint8(255), uint8(255), true, uint8(64))
+	f.Fuzz(func(t *testing.T, pc, addr uint64, op, dst, src1, src2 uint8, taken bool, count uint8) {
+		n := int(count%64) + 1
+		recs := make([]Rec, n)
+		for i := range recs {
+			recs[i] = Rec{
+				PC:    pc + uint64(i),
+				Addr:  addr ^ uint64(i)<<5,
+				Op:    Op((int(op) + i) % NumOps()),
+				Dst:   dst,
+				Src1:  src1,
+				Src2:  src2,
+				Taken: taken != (i%2 == 0),
+			}
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.WriteChunk(recs); err != nil {
+			t.Fatalf("WriteChunk: %v", err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+
+		// Chunked read.
+		r := NewReader(bytes.NewReader(buf.Bytes()))
+		got := make([]Rec, 0, n)
+		tmp := make([]Rec, 7)
+		for {
+			k, eof := r.ReadChunk(tmp)
+			got = append(got, tmp[:k]...)
+			if eof {
+				break
+			}
+		}
+		if err := r.Err(); err != nil {
+			t.Fatalf("ReadChunk err: %v", err)
+		}
+		if len(got) != n {
+			t.Fatalf("round trip lost records: %d != %d", len(got), n)
+		}
+		// Record-at-a-time read must agree.
+		r2 := NewReader(bytes.NewReader(buf.Bytes()))
+		for i := range got {
+			if got[i] != recs[i] {
+				t.Fatalf("record %d: %+v != %+v", i, got[i], recs[i])
+			}
+			single, ok := r2.Next()
+			if !ok || single != got[i] {
+				t.Fatalf("Next diverged from ReadChunk at record %d", i)
+			}
+		}
+	})
+}
+
+// FuzzReaderCorrupt feeds arbitrary bytes to both reader paths: they
+// must never panic, must agree with each other on the decoded prefix,
+// and must never emit an invalid op.
+func FuzzReaderCorrupt(f *testing.F) {
+	// A valid two-record trace as a seed, plus degenerate cases.
+	var seedBuf bytes.Buffer
+	w := NewWriter(&seedBuf)
+	_ = w.Write(Rec{PC: 1, Op: OpLoad, Addr: 0x40})
+	_ = w.Write(Rec{PC: 2, Op: OpBranch, Taken: true})
+	_ = w.Flush()
+	f.Add(seedBuf.Bytes())
+	f.Add([]byte{})
+	f.Add(magic[:])
+	f.Add(append(append([]byte{}, magic[:]...), 0xFF, 0xFF, 0xFF))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		var viaNext []Rec
+		for {
+			rec, ok := r.Next()
+			if !ok {
+				break
+			}
+			if !rec.Op.Valid() {
+				t.Fatalf("Next emitted invalid op %d", rec.Op)
+			}
+			viaNext = append(viaNext, rec)
+		}
+		nextErr := r.Err()
+
+		rc := NewReader(bytes.NewReader(data))
+		var viaChunk []Rec
+		tmp := make([]Rec, 5)
+		for {
+			k, eof := rc.ReadChunk(tmp)
+			for i := 0; i < k; i++ {
+				if !tmp[i].Op.Valid() {
+					t.Fatalf("ReadChunk emitted invalid op %d", tmp[i].Op)
+				}
+			}
+			viaChunk = append(viaChunk, tmp[:k]...)
+			if eof {
+				break
+			}
+		}
+		chunkErr := rc.Err()
+
+		if len(viaNext) != len(viaChunk) {
+			t.Fatalf("paths decoded %d vs %d records", len(viaNext), len(viaChunk))
+		}
+		for i := range viaNext {
+			if viaNext[i] != viaChunk[i] {
+				t.Fatalf("paths diverge at record %d", i)
+			}
+		}
+		if (nextErr == nil) != (chunkErr == nil) {
+			t.Fatalf("error disagreement: Next=%v ReadChunk=%v", nextErr, chunkErr)
+		}
+		// Sanity: every whole valid record the input could hold is bounded
+		// by the payload size.
+		if len(data) >= 8 {
+			if maxRecs := (len(data) - 8) / recSize; len(viaNext) > maxRecs {
+				t.Fatalf("decoded %d records from %d payload bytes", len(viaNext), len(data)-8)
+			}
+		}
+	})
+}
+
+// TestFuzzSeedsPass runs the seed corpus logic once so the fuzz targets
+// are exercised by a plain `go test` run too.
+func TestFuzzSeedsPass(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteChunk(manyRecs(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip every byte position of one record and require no panic.
+	for off := 8; off < 8+recSize; off++ {
+		data := append([]byte(nil), buf.Bytes()...)
+		data[off] ^= 0xFF
+		r := NewReader(bytes.NewReader(data))
+		for {
+			if _, ok := r.Next(); !ok {
+				break
+			}
+		}
+	}
+	// Truncate at every length and require no panic on the chunked path.
+	full := buf.Bytes()
+	for l := 0; l <= len(full); l++ {
+		r := NewReader(bytes.NewReader(full[:l]))
+		tmp := make([]Rec, 4)
+		for {
+			if _, eof := r.ReadChunk(tmp); eof {
+				break
+			}
+		}
+	}
+}

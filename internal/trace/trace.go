@@ -80,11 +80,59 @@ func (r Rec) String() string {
 
 // Stream yields trace records one at a time.  Next returns false when the
 // stream is exhausted.  Streams are single-use.
+//
+// Stream is the legacy record-at-a-time interface; the simulators now
+// pull records in batches through Source.  It is retained for
+// special-purpose kernels and as the reference the chunked path is
+// pinned against in tests.
 type Stream interface {
 	Next() (Rec, bool)
 }
 
-// SliceStream adapts a slice of records into a Stream.
+// Source yields trace records in caller-supplied chunks — the batched
+// producer interface mirroring the cache engine's batched replay
+// consumers.  ReadChunk fills buf with up to len(buf) records and
+// returns how many were written; eof reports that the source is
+// exhausted (no record will ever follow the n returned).  A call may
+// return n < len(buf) with eof false only when len(buf) == 0.  Sources
+// are single-use and not safe for concurrent use.
+type Source interface {
+	ReadChunk(buf []Rec) (n int, eof bool)
+}
+
+// SourceOf adapts a legacy Stream into a Source.  The adapter costs one
+// interface dispatch per record; native ReadChunk implementations are
+// preferred on hot paths.
+func SourceOf(s Stream) Source {
+	if src, ok := s.(Source); ok {
+		return src
+	}
+	return &streamSource{s: s}
+}
+
+type streamSource struct {
+	s   Stream
+	eof bool
+}
+
+func (a *streamSource) ReadChunk(buf []Rec) (int, bool) {
+	if a.eof {
+		return 0, true
+	}
+	n := 0
+	for n < len(buf) {
+		r, ok := a.s.Next()
+		if !ok {
+			a.eof = true
+			return n, true
+		}
+		buf[n] = r
+		n++
+	}
+	return n, false
+}
+
+// SliceStream adapts a slice of records into a Stream and a Source.
 type SliceStream struct {
 	recs []Rec
 	pos  int
@@ -92,6 +140,9 @@ type SliceStream struct {
 
 // NewSliceStream returns a Stream over recs.  The slice is not copied.
 func NewSliceStream(recs []Rec) *SliceStream { return &SliceStream{recs: recs} }
+
+// NewSliceSource returns a Source over recs.  The slice is not copied.
+func NewSliceSource(recs []Rec) *SliceStream { return &SliceStream{recs: recs} }
 
 // Next implements Stream.
 func (s *SliceStream) Next() (Rec, bool) {
@@ -103,52 +154,77 @@ func (s *SliceStream) Next() (Rec, bool) {
 	return r, true
 }
 
-// Collect drains up to max records from a stream into a slice.  A max of
-// 0 means no limit.
-func Collect(s Stream, max int) []Rec {
+// ReadChunk implements Source.
+func (s *SliceStream) ReadChunk(buf []Rec) (int, bool) {
+	n := copy(buf, s.recs[s.pos:])
+	s.pos += n
+	return n, s.pos >= len(s.recs)
+}
+
+// Collect drains up to max records from a source into a slice.  A max
+// of 0 means no limit (the source must be finite).
+func Collect(s Source, max int) []Rec {
 	var out []Rec
+	buf := make([]Rec, 4096)
 	for {
-		if max > 0 && len(out) >= max {
+		want := len(buf)
+		if max > 0 && max-len(out) < want {
+			want = max - len(out)
+		}
+		if want == 0 {
 			return out
 		}
-		r, ok := s.Next()
-		if !ok {
+		n, eof := s.ReadChunk(buf[:want])
+		out = append(out, buf[:n]...)
+		if eof {
 			return out
 		}
-		out = append(out, r)
 	}
 }
 
-// Limit wraps a stream, truncating it after n records.
+// Limit wraps a source, truncating it after N records.
 type Limit struct {
-	S Stream
-	N int
+	S Source
+	N uint64
 }
 
-// Next implements Stream.
-func (l *Limit) Next() (Rec, bool) {
-	if l.N <= 0 {
-		return Rec{}, false
+// ReadChunk implements Source.
+func (l *Limit) ReadChunk(buf []Rec) (int, bool) {
+	if l.N == 0 {
+		return 0, true
 	}
-	l.N--
-	return l.S.Next()
+	if uint64(len(buf)) > l.N {
+		buf = buf[:l.N]
+	}
+	n, eof := l.S.ReadChunk(buf)
+	l.N -= uint64(n)
+	return n, eof || l.N == 0
 }
 
-// MemOnly wraps a stream, yielding only load/store records — the view a
-// trace-driven cache simulator needs.
+// MemOnly wraps a source, yielding only load/store records — the view a
+// trace-driven cache simulator needs.  Filtering happens in place in the
+// caller's buffer: each underlying chunk is compacted down to its memory
+// records, so no intermediate buffer or per-record dispatch is paid.
 type MemOnly struct {
-	S Stream
+	S Source
 }
 
-// Next implements Stream.
-func (m *MemOnly) Next() (Rec, bool) {
-	for {
-		r, ok := m.S.Next()
-		if !ok {
-			return Rec{}, false
+// ReadChunk implements Source.
+func (m *MemOnly) ReadChunk(buf []Rec) (int, bool) {
+	n := 0
+	for n < len(buf) {
+		k, eof := m.S.ReadChunk(buf[n:])
+		w := n
+		for i := n; i < n+k; i++ {
+			if buf[i].Op.IsMem() {
+				buf[w] = buf[i]
+				w++
+			}
 		}
-		if r.Op.IsMem() {
-			return r, true
+		n = w
+		if eof {
+			return n, true
 		}
 	}
+	return n, false
 }

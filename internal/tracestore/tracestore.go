@@ -1,0 +1,280 @@
+// Package tracestore is a process-wide memoized store of synthetic
+// memory traces.  Every experiment driver that replays a benchmark's
+// load/store stream through a cache asks the store for the first max
+// memory records of (profile, seed); the store generates that trace
+// exactly once, packs it into a compact struct-of-arrays form (one
+// uint64 address plus one op bit per record — 8.125 bytes instead of the
+// 24-byte trace.Rec), and replays it read-only to every subsequent
+// caller.  A `repro all` run therefore pays one generation pass per
+// (profile, seed) instead of one per driver per design point.
+//
+// Replayed records carry only the fields a memory-trace consumer reads —
+// Op (OpLoad/OpStore) and Addr; PC and register fields are zero.  Cache,
+// hierarchy and classifier consumers are oblivious to the difference, so
+// results are bit-identical with direct generation.
+//
+// Memory is bounded: traces whose packed form would push the store past
+// its byte budget are not materialized.  Such requests fall back to
+// streaming straight from the generator in bounded chunks, so
+// -instructions can scale to billions of records without the store
+// growing past its budget.
+package tracestore
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// chunkLen is the replay/streaming chunk granularity (records).
+const chunkLen = 1 << 13
+
+// packedBytesPerRec is the struct-of-arrays cost of one record: 8 bytes
+// of address plus one op bit.
+const packedBytesPerRec = 8.125
+
+// DefaultMaxBytes is the default store budget.  At the default
+// experiment scale (200k memory records × 18 profiles ≈ 30 MB packed)
+// the whole suite fits; billion-record runs exceed it and stream.
+const DefaultMaxBytes = 1 << 30
+
+// Key identifies one materialized trace.  Profiles are keyed by name:
+// two profiles sharing a name must be identical (true for the canonical
+// workload.Suite the experiment drivers use).
+type Key struct {
+	Profile string
+	Seed    uint64
+}
+
+// Stats counts store traffic: Generations is the number of generation
+// passes performed (the number `repro all` wants at exactly one per
+// (profile, seed)), Hits the replays served from memory, Misses the
+// requests that had to generate (first touch or growth), and Streamed
+// the over-budget requests that bypassed the store.
+type Stats struct {
+	Hits, Misses, Generations, Streamed uint64
+}
+
+// Store memoizes packed memory traces under a byte budget.
+type Store struct {
+	mu       sync.Mutex
+	maxBytes int64
+	used     int64
+	entries  map[Key]*entry
+	stats    Stats
+}
+
+// entry is one (profile, seed) packed trace.  mu serialises
+// materialization; after generation the arrays are immutable and read
+// concurrently without locking.
+type entry struct {
+	mu      sync.Mutex
+	prof    workload.Profile
+	seed    uint64
+	n       uint64   // records materialized
+	charged int64    // bytes charged against the store budget
+	addrs   []uint64 // record i's address
+	stores  []uint64 // bitmask: bit i set => record i is a store
+}
+
+// New returns a store with the given byte budget.
+func New(maxBytes int64) *Store {
+	return &Store{maxBytes: maxBytes, entries: make(map[Key]*entry)}
+}
+
+// Default is the process-wide store shared by the experiment drivers.
+var Default = New(DefaultMaxBytes)
+
+// Stats returns a snapshot of the store's traffic counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// UsedBytes returns the packed bytes currently materialized.
+func (s *Store) UsedBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used
+}
+
+// packedBytes is the budget cost of max packed records.
+func packedBytes(max uint64) int64 {
+	return int64(float64(max) * packedBytesPerRec)
+}
+
+// ReplayMem feeds the first max memory records of (prof, seed) to fn in
+// bounded in-order chunks, checking ctx between chunks.  The chunk
+// buffer is reused across calls to fn; fn must not retain it.  The
+// trace is served from the memoized store when it fits the byte budget
+// and streamed straight from the generator otherwise.
+func (s *Store) ReplayMem(ctx context.Context, prof workload.Profile, seed, max uint64, fn func(recs []trace.Rec)) error {
+	if max == 0 {
+		return ctx.Err()
+	}
+	key := Key{Profile: prof.Name, Seed: seed}
+
+	// Admission reserves the projected bytes up front, so concurrent
+	// first-touch requests for different keys each see the others'
+	// reservations — the store can never over-materialize past its
+	// budget by admitting everyone against a stale usage figure.
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if !ok {
+		need := packedBytes(max)
+		if s.used+need > s.maxBytes {
+			s.stats.Streamed++
+			s.mu.Unlock()
+			return streamMem(ctx, prof, seed, max, fn)
+		}
+		e = &entry{prof: prof, seed: seed, charged: need}
+		s.used += need
+		s.entries[key] = e
+	}
+	s.mu.Unlock()
+
+	// Materialize (or grow) under the entry lock; concurrent requesters
+	// for the same trace block here and then replay the shared arrays.
+	e.mu.Lock()
+	if e.n < max {
+		need := packedBytes(max)
+		s.mu.Lock()
+		if need > e.charged {
+			// Growth past the existing reservation: reserve the delta or
+			// stream (the entry stays at its old size).
+			if s.used+need-e.charged > s.maxBytes {
+				s.stats.Streamed++
+				s.mu.Unlock()
+				e.mu.Unlock()
+				return streamMem(ctx, prof, seed, max, fn)
+			}
+			s.used += need - e.charged
+			e.charged = need
+		}
+		s.stats.Misses++
+		s.stats.Generations++
+		s.mu.Unlock()
+		err := e.generate(ctx, max)
+		// Settle the reservation to what actually materialized (a
+		// cancelled generation refunds; the partial entry is regenerated
+		// on next touch).
+		s.mu.Lock()
+		s.used += packedBytes(e.n) - e.charged
+		e.charged = packedBytes(e.n)
+		s.mu.Unlock()
+		if err != nil {
+			e.mu.Unlock()
+			return err
+		}
+	} else {
+		s.mu.Lock()
+		s.stats.Hits++
+		s.mu.Unlock()
+	}
+	// Snapshot the packed arrays before releasing the entry: a later
+	// growth request swaps in fresh slices rather than mutating these, so
+	// the snapshot stays immutable while we replay it.
+	addrs, stores, n := e.addrs, e.stores, e.n
+	e.mu.Unlock()
+
+	return replayPacked(ctx, addrs, stores, n, max, fn)
+}
+
+// generate regenerates the packed trace from scratch up to max records.
+// A growth request regenerates rather than resuming: generator state is
+// not checkpointed, and within one `repro all` run every driver asks for
+// the same size, so growth never happens there.
+func (e *entry) generate(ctx context.Context, max uint64) error {
+	src := &trace.MemOnly{S: workload.NewGenerator(e.prof, e.seed)}
+	e.addrs = make([]uint64, 0, max)
+	e.stores = make([]uint64, (max+63)/64)
+	e.n = 0
+	buf := make([]trace.Rec, chunkLen)
+	for e.n < max {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		want := uint64(chunkLen)
+		if max-e.n < want {
+			want = max - e.n
+		}
+		k, eof := src.ReadChunk(buf[:want])
+		for i := 0; i < k; i++ {
+			idx := e.n + uint64(i)
+			if buf[i].Op == trace.OpStore {
+				e.stores[idx>>6] |= 1 << (idx & 63)
+			}
+			e.addrs = append(e.addrs, buf[i].Addr)
+		}
+		e.n += uint64(k)
+		if eof {
+			break
+		}
+	}
+	return nil
+}
+
+// replayPacked decodes the first max of n packed records back into
+// trace.Rec chunks.  The arrays are an immutable snapshot, so concurrent
+// replays of one entry are safe.
+func replayPacked(ctx context.Context, addrs, stores []uint64, n, max uint64, fn func(recs []trace.Rec)) error {
+	limit := n
+	if max < limit {
+		limit = max
+	}
+	buf := make([]trace.Rec, chunkLen)
+	for i := uint64(0); i < limit; {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		k := uint64(chunkLen)
+		if limit-i < k {
+			k = limit - i
+		}
+		for j := uint64(0); j < k; j++ {
+			idx := i + j
+			op := trace.OpLoad
+			if stores[idx>>6]&(1<<(idx&63)) != 0 {
+				op = trace.OpStore
+			}
+			buf[j] = trace.Rec{Op: op, Addr: addrs[idx]}
+		}
+		fn(buf[:k])
+		i += k
+	}
+	return nil
+}
+
+// streamMem is the bounded-memory fallback: generate and deliver the
+// trace chunk by chunk without materializing it.  Records are reduced
+// to the same Op+Addr shape the packed replay delivers, so a consumer
+// sees identical record contents whichever path the budget picks.
+func streamMem(ctx context.Context, prof workload.Profile, seed, max uint64, fn func(recs []trace.Rec)) error {
+	src := &trace.MemOnly{S: workload.NewGenerator(prof, seed)}
+	buf := make([]trace.Rec, chunkLen)
+	var done uint64
+	for done < max {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		want := uint64(chunkLen)
+		if max-done < want {
+			want = max - done
+		}
+		k, eof := src.ReadChunk(buf[:want])
+		for i := 0; i < k; i++ {
+			buf[i] = trace.Rec{Op: buf[i].Op, Addr: buf[i].Addr}
+		}
+		if k > 0 {
+			fn(buf[:k])
+			done += uint64(k)
+		}
+		if eof {
+			break
+		}
+	}
+	return nil
+}

@@ -1,0 +1,237 @@
+package tracestore
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func ctxBg() context.Context { return context.Background() }
+
+// collectStore drains max records of (prof, seed) through the store.
+func collectStore(t *testing.T, s *Store, prof workload.Profile, seed, max uint64) []trace.Rec {
+	t.Helper()
+	var out []trace.Rec
+	err := s.ReplayMem(ctxBg(), prof, seed, max, func(recs []trace.Rec) {
+		out = append(out, recs...)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// collectDirect generates the reference memory trace straight from the
+// generator.
+func collectDirect(prof workload.Profile, seed, max uint64) []trace.Rec {
+	src := &trace.MemOnly{S: workload.NewGenerator(prof, seed)}
+	out := make([]trace.Rec, 0, max)
+	buf := make([]trace.Rec, 1024)
+	for uint64(len(out)) < max {
+		want := uint64(len(buf))
+		if max-uint64(len(out)) < want {
+			want = max - uint64(len(out))
+		}
+		k, eof := src.ReadChunk(buf[:want])
+		out = append(out, buf[:k]...)
+		if eof {
+			break
+		}
+	}
+	return out
+}
+
+// TestReplayMatchesGenerator pins the store's replay contract: Op and
+// Addr of every record match direct generation (PC and registers are
+// intentionally dropped by the packed form).
+func TestReplayMatchesGenerator(t *testing.T) {
+	s := New(DefaultMaxBytes)
+	for _, name := range []string{"tomcatv", "compress", "fpppp"} {
+		prof, _ := workload.ByName(name)
+		const max = 30_000
+		got := collectStore(t, s, prof, 7, max)
+		want := collectDirect(prof, 7, max)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d records, want %d", name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Op != want[i].Op || got[i].Addr != want[i].Addr {
+				t.Fatalf("%s: record %d = {%v %#x}, want {%v %#x}",
+					name, i, got[i].Op, got[i].Addr, want[i].Op, want[i].Addr)
+			}
+		}
+	}
+}
+
+// TestSingleGeneration is the memoization contract: many replays of one
+// (profile, seed) cost exactly one generation pass.
+func TestSingleGeneration(t *testing.T) {
+	s := New(DefaultMaxBytes)
+	prof, _ := workload.ByName("swim")
+	for i := 0; i < 5; i++ {
+		collectStore(t, s, prof, 1997, 10_000)
+	}
+	st := s.Stats()
+	if st.Generations != 1 {
+		t.Errorf("5 replays cost %d generations, want 1", st.Generations)
+	}
+	if st.Hits != 4 || st.Misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 4/1", st.Hits, st.Misses)
+	}
+	if st.Streamed != 0 {
+		t.Errorf("streamed=%d, want 0", st.Streamed)
+	}
+}
+
+// TestDistinctKeysGenerateSeparately checks seeds and profiles key
+// independently.
+func TestDistinctKeysGenerateSeparately(t *testing.T) {
+	s := New(DefaultMaxBytes)
+	tom, _ := workload.ByName("tomcatv")
+	swim, _ := workload.ByName("swim")
+	collectStore(t, s, tom, 1, 1_000)
+	collectStore(t, s, tom, 2, 1_000)
+	collectStore(t, s, swim, 1, 1_000)
+	if st := s.Stats(); st.Generations != 3 {
+		t.Errorf("3 distinct keys cost %d generations, want 3", st.Generations)
+	}
+}
+
+// TestGrowthRegenerates checks a larger request regenerates and the
+// grown entry serves both sizes.
+func TestGrowthRegenerates(t *testing.T) {
+	s := New(DefaultMaxBytes)
+	prof, _ := workload.ByName("gcc")
+	small := collectStore(t, s, prof, 3, 1_000)
+	big := collectStore(t, s, prof, 3, 5_000)
+	if st := s.Stats(); st.Generations != 2 {
+		t.Errorf("growth cost %d generations, want 2", st.Generations)
+	}
+	// The smaller view replays from the grown entry without regenerating.
+	again := collectStore(t, s, prof, 3, 1_000)
+	if st := s.Stats(); st.Generations != 2 {
+		t.Errorf("re-replay after growth cost %d generations, want 2", st.Generations)
+	}
+	for i := range small {
+		if small[i] != big[i] || small[i] != again[i] {
+			t.Fatalf("prefix diverged at record %d", i)
+		}
+	}
+}
+
+// TestBudgetFallbackStreams checks over-budget requests bypass the
+// store, still deliver a correct bounded-memory trace, and leave the
+// store empty.
+func TestBudgetFallbackStreams(t *testing.T) {
+	s := New(64) // tiny: nothing fits
+	prof, _ := workload.ByName("wave5")
+	const max = 20_000
+	got := collectStore(t, s, prof, 5, max)
+	want := collectDirect(prof, 5, max)
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d records, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Op != want[i].Op || got[i].Addr != want[i].Addr {
+			t.Fatalf("streamed record %d differs", i)
+		}
+	}
+	st := s.Stats()
+	if st.Streamed != 1 || st.Generations != 0 {
+		t.Errorf("streamed=%d generations=%d, want 1/0", st.Streamed, st.Generations)
+	}
+	if s.UsedBytes() != 0 {
+		t.Errorf("budget-rejected request left %d bytes in the store", s.UsedBytes())
+	}
+}
+
+// TestConcurrentReplaySingleGeneration hammers one key from many
+// goroutines: exactly one generation, identical bytes delivered to all.
+func TestConcurrentReplaySingleGeneration(t *testing.T) {
+	s := New(DefaultMaxBytes)
+	prof, _ := workload.ByName("tomcatv")
+	const workers = 8
+	const max = 20_000
+	want := collectDirect(prof, 11, max)
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var n int
+			bad := false
+			err := s.ReplayMem(ctxBg(), prof, 11, max, func(recs []trace.Rec) {
+				for i := range recs {
+					if bad {
+						return
+					}
+					if recs[i].Addr != want[n].Addr || recs[i].Op != want[n].Op {
+						bad = true
+						errs <- "record mismatch"
+						return
+					}
+					n++
+				}
+			})
+			if err != nil {
+				errs <- err.Error()
+			} else if !bad && uint64(n) != uint64(len(want)) {
+				errs <- "short replay"
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	if st := s.Stats(); st.Generations != 1 {
+		t.Errorf("%d workers cost %d generations, want 1", workers, st.Generations)
+	}
+}
+
+// TestBudgetReservedAtAdmission checks the budget is reserved before
+// generation, not charged after: two concurrent first-touch requests
+// whose combined projection exceeds the budget must never both
+// materialize, even though each alone would fit.
+func TestBudgetReservedAtAdmission(t *testing.T) {
+	const max = 10_000
+	one := packedBytes(max)
+	s := New(one + one/2) // one trace fits, two do not
+	tom, _ := workload.ByName("tomcatv")
+	swim, _ := workload.ByName("swim")
+	var wg sync.WaitGroup
+	for _, prof := range []workload.Profile{tom, swim} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.ReplayMem(ctxBg(), prof, 1, max, func([]trace.Rec) {}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if used := s.UsedBytes(); used > one+one/2 {
+		t.Errorf("store materialized %d bytes past its %d budget", used, one+one/2)
+	}
+	st := s.Stats()
+	if st.Generations != 1 || st.Streamed != 1 {
+		t.Errorf("generations=%d streamed=%d, want exactly one of each", st.Generations, st.Streamed)
+	}
+}
+
+// TestCancellation propagates context errors out of replay.
+func TestCancellation(t *testing.T) {
+	s := New(DefaultMaxBytes)
+	prof, _ := workload.ByName("go")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := s.ReplayMem(ctx, prof, 1, 100_000, func([]trace.Rec) {})
+	if err == nil {
+		t.Error("cancelled replay returned nil error")
+	}
+}

@@ -5,36 +5,59 @@ import (
 	"repro/internal/trace"
 )
 
-// Generator turns a Profile into an infinite trace.Stream.  Each
+// Generator turns a Profile into an infinite instruction trace.  Each
 // iteration of the synthetic loop body emits, in order: one memory access
 // per array, the random loads, the integer and FP arithmetic, a
 // data-dependent branch, and the loop back-edge branch.  PCs are fixed
 // per body slot so branch and address predictors see realistic,
 // per-instruction-stable streams.
+//
+// Generator implements both trace.Source (the chunked fast path:
+// iterations are emitted directly into the caller's buffer, zero
+// allocations and zero copies in steady state) and the legacy
+// trace.Stream (one record at a time, retained as the reference the
+// chunked path is pinned against).  Both paths share one emission
+// routine, so they produce bit-identical record sequences and may even
+// be interleaved on one Generator.
 type Generator struct {
 	prof   Profile
 	rnd    *rng.RNG
 	iter   uint64
-	buf    []trace.Rec
-	pos    int
 	pcBase uint64
 	// rolling destination registers for dependency structure
 	intReg uint8
 	fpReg  uint8
+
+	// bodyMax bounds the records one iteration can emit; scratch is a
+	// bodyMax-sized spill buffer used when an iteration straddles a chunk
+	// boundary (and by the legacy Next path); pending aliases the unread
+	// tail of scratch.
+	bodyMax int
+	scratch []trace.Rec
+	pending []trace.Rec
 }
 
 // NewGenerator returns a generator for prof seeded with seed.
 func NewGenerator(prof Profile, seed uint64) *Generator {
+	// Worst-case body: div/sqrt prologue + mul prologue + one access per
+	// array + random loads + arithmetic + two branches.
+	bodyMax := 2 + len(prof.Arrays) + prof.RandLoads + prof.IntOps + prof.FPOps + 2
 	return &Generator{
-		prof:   prof,
-		rnd:    rng.New(seed ^ hashName(prof.Name)),
-		pcBase: 0x40000000 + hashName(prof.Name)<<16&0x0FFF0000,
+		prof:    prof,
+		rnd:     rng.New(seed ^ hashName(prof.Name)),
+		pcBase:  0x40000000 + hashName(prof.Name)<<16&0x0FFF0000,
+		bodyMax: bodyMax,
+		scratch: make([]trace.Rec, bodyMax),
 	}
 }
 
-// Stream returns an infinite stream for prof; wrap in trace.Limit to
-// bound it.
+// Stream returns an infinite legacy stream for prof; wrap in trace.Limit
+// to bound it.  Deprecated in favour of Source.
 func Stream(prof Profile, seed uint64) trace.Stream { return NewGenerator(prof, seed) }
+
+// Source returns an infinite chunked source for prof; wrap in
+// trace.Limit to bound it.
+func Source(prof Profile, seed uint64) trace.Source { return NewGenerator(prof, seed) }
 
 // hashName derives a stable 64-bit value from a profile name (FNV-1a).
 func hashName(s string) uint64 {
@@ -46,14 +69,33 @@ func hashName(s string) uint64 {
 	return h
 }
 
+// ReadChunk implements trace.Source.  The stream never ends, so eof is
+// always false.  Whole iterations are emitted directly into buf; only an
+// iteration straddling the end of buf goes through the spill buffer.
+func (g *Generator) ReadChunk(buf []trace.Rec) (int, bool) {
+	n := copy(buf, g.pending)
+	g.pending = g.pending[n:]
+	for n < len(buf) {
+		if len(buf)-n >= g.bodyMax {
+			n += g.emitIteration(buf[n:])
+		} else {
+			k := g.emitIteration(g.scratch)
+			c := copy(buf[n:], g.scratch[:k])
+			g.pending = g.scratch[c:k]
+			n += c
+		}
+	}
+	return n, false
+}
+
 // Next implements trace.Stream.  The stream never ends.
 func (g *Generator) Next() (trace.Rec, bool) {
-	if g.pos >= len(g.buf) {
-		g.buildIteration()
-		g.pos = 0
+	if len(g.pending) == 0 {
+		k := g.emitIteration(g.scratch)
+		g.pending = g.scratch[:k]
 	}
-	r := g.buf[g.pos]
-	g.pos++
+	r := g.pending[0]
+	g.pending = g.pending[1:]
 	return r, true
 }
 
@@ -69,16 +111,12 @@ func (g *Generator) nextFPReg() uint8 {
 	return g.fpReg
 }
 
-// buildIteration regenerates the loop body for the current iteration.
-func (g *Generator) buildIteration() {
+// emitIteration writes the loop body of the current iteration into dst
+// and returns the number of records emitted.  dst must have room for at
+// least bodyMax records.
+func (g *Generator) emitIteration(dst []trace.Rec) int {
 	p := &g.prof
-	g.buf = g.buf[:0]
-	pc := g.pcBase
-	emit := func(r trace.Rec) {
-		r.PC = pc
-		pc += 4
-		g.buf = append(g.buf, r)
-	}
+	n := 0
 
 	// Long-latency prologue: executed only every DivEvery-th (MulEvery-th)
 	// iteration, in its own PC region so every static PC keeps a fixed
@@ -87,16 +125,27 @@ func (g *Generator) buildIteration() {
 		divPC := g.pcBase - 0x100
 		if p.FP {
 			if g.iter%(2*uint64(p.DivEvery)) == 0 {
-				g.buf = append(g.buf, trace.Rec{PC: divPC, Op: trace.OpFPDiv, Dst: g.nextFPReg(), Src1: g.fpReg, Src2: 25})
+				dst[n] = trace.Rec{PC: divPC, Op: trace.OpFPDiv, Dst: g.nextFPReg(), Src1: g.fpReg, Src2: 25}
 			} else {
-				g.buf = append(g.buf, trace.Rec{PC: divPC + 4, Op: trace.OpFPSqrt, Dst: g.nextFPReg(), Src1: g.fpReg})
+				dst[n] = trace.Rec{PC: divPC + 4, Op: trace.OpFPSqrt, Dst: g.nextFPReg(), Src1: g.fpReg}
 			}
 		} else {
-			g.buf = append(g.buf, trace.Rec{PC: divPC + 8, Op: trace.OpIntDiv, Dst: g.nextIntReg(), Src1: g.intReg, Src2: 25})
+			dst[n] = trace.Rec{PC: divPC + 8, Op: trace.OpIntDiv, Dst: g.nextIntReg(), Src1: g.intReg, Src2: 25}
 		}
+		n++
 	}
 	if p.MulEvery > 0 && !p.FP && g.iter%uint64(p.MulEvery) == 0 {
-		g.buf = append(g.buf, trace.Rec{PC: g.pcBase - 0x80, Op: trace.OpIntMul, Dst: g.nextIntReg(), Src1: g.intReg, Src2: 26})
+		dst[n] = trace.Rec{PC: g.pcBase - 0x80, Op: trace.OpIntMul, Dst: g.nextIntReg(), Src1: g.intReg, Src2: 26}
+		n++
+	}
+
+	// Body records carry consecutive PCs from pcBase.
+	pc := g.pcBase
+	emit := func(r trace.Rec) {
+		r.PC = pc
+		pc += 4
+		dst[n] = r
+		n++
 	}
 
 	// Array accesses, one per array, in lockstep.
@@ -162,6 +211,7 @@ func (g *Generator) buildIteration() {
 	emit(trace.Rec{Op: trace.OpBranch, Taken: !exit, Src1: g.intReg})
 
 	g.iter++
+	return n
 }
 
 // Mix summarises the dynamic instruction mix of the first n instructions

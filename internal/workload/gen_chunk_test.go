@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// collectChunked drains n records from a fresh generator through
+// ReadChunk with the given chunk size.
+func collectChunked(prof Profile, seed uint64, n, chunkSize int) []trace.Rec {
+	g := NewGenerator(prof, seed)
+	buf := make([]trace.Rec, chunkSize)
+	out := make([]trace.Rec, 0, n)
+	for len(out) < n {
+		want := chunkSize
+		if n-len(out) < want {
+			want = n - len(out)
+		}
+		k, eof := g.ReadChunk(buf[:want])
+		out = append(out, buf[:k]...)
+		if eof {
+			break
+		}
+	}
+	return out
+}
+
+// TestGeneratorChunkDeterminism pins the chunked-source contract: for
+// every profile, the same (profile, seed) must yield identical records
+// at every chunk size — including sizes far below the iteration body
+// length, which force the spill-buffer path — and must match the legacy
+// record-at-a-time Next() reference exactly.
+func TestGeneratorChunkDeterminism(t *testing.T) {
+	const n = 20_000
+	const seed = 42
+	for _, prof := range Suite() {
+		// Legacy reference: one record at a time.
+		g := NewGenerator(prof, seed)
+		ref := make([]trace.Rec, 0, n)
+		for i := 0; i < n; i++ {
+			r, ok := g.Next()
+			if !ok {
+				t.Fatalf("%s: Next ended early", prof.Name)
+			}
+			ref = append(ref, r)
+		}
+		for _, chunkSize := range []int{1, 7, 4096} {
+			got := collectChunked(prof, seed, n, chunkSize)
+			if len(got) != n {
+				t.Fatalf("%s chunk=%d: got %d records, want %d", prof.Name, chunkSize, len(got), n)
+			}
+			for i := range got {
+				if got[i] != ref[i] {
+					t.Fatalf("%s chunk=%d: record %d = %+v, want %+v",
+						prof.Name, chunkSize, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// TestGeneratorMixedNextAndChunk checks the two intake paths share one
+// emission cursor: alternating Next and ReadChunk on a single generator
+// yields the same sequence as either path alone.
+func TestGeneratorMixedNextAndChunk(t *testing.T) {
+	prof, _ := ByName("tomcatv")
+	const n = 5_000
+	ref := collectChunked(prof, 9, n, 4096)
+
+	g := NewGenerator(prof, 9)
+	got := make([]trace.Rec, 0, n)
+	buf := make([]trace.Rec, 13)
+	for len(got) < n {
+		if len(got)%3 == 0 {
+			r, _ := g.Next()
+			got = append(got, r)
+			continue
+		}
+		want := len(buf)
+		if n-len(got) < want {
+			want = n - len(got)
+		}
+		k, _ := g.ReadChunk(buf[:want])
+		got = append(got, buf[:k]...)
+	}
+	for i := range got {
+		if got[i] != ref[i] {
+			t.Fatalf("mixed intake diverged at record %d: %+v vs %+v", i, got[i], ref[i])
+		}
+	}
+}
+
+// TestGeneratorChunkZeroAlloc verifies the steady-state contract the
+// chunked pipeline is built on: emitting into a caller-supplied buffer
+// allocates nothing.
+func TestGeneratorChunkZeroAlloc(t *testing.T) {
+	prof, _ := ByName("tomcatv")
+	g := NewGenerator(prof, 1)
+	buf := make([]trace.Rec, 4096)
+	g.ReadChunk(buf) // warm up (spill buffer is allocated at New)
+	allocs := testing.AllocsPerRun(10, func() {
+		g.ReadChunk(buf)
+	})
+	if allocs != 0 {
+		t.Errorf("ReadChunk allocates %.1f times per chunk, want 0", allocs)
+	}
+}

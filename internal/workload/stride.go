@@ -41,6 +41,21 @@ func (s *StrideStream) Next() (trace.Rec, bool) {
 	return rec, true
 }
 
+// ReadChunk implements trace.Source.
+func (s *StrideStream) ReadChunk(buf []trace.Rec) (int, bool) {
+	n := 0
+	for n < len(buf) && s.r < s.rounds {
+		buf[n] = trace.Rec{PC: s.pc, Op: trace.OpLoad, Addr: s.base + uint64(s.i)*s.stride, Dst: 1}
+		n++
+		s.i++
+		if s.i >= s.elems {
+			s.i = 0
+			s.r++
+		}
+	}
+	return n, s.r >= s.rounds
+}
+
 // Total returns the total number of accesses the stream will produce.
 func (s *StrideStream) Total() int { return s.elems * s.rounds }
 

@@ -50,8 +50,8 @@ func TestSuiteShape(t *testing.T) {
 
 func TestGeneratorDeterminism(t *testing.T) {
 	p, _ := ByName("gcc")
-	a := trace.Collect(&trace.Limit{S: Stream(p, 42), N: 5000}, 0)
-	b := trace.Collect(&trace.Limit{S: Stream(p, 42), N: 5000}, 0)
+	a := trace.Collect(&trace.Limit{S: Source(p, 42), N: 5000}, 0)
+	b := trace.Collect(&trace.Limit{S: Source(p, 42), N: 5000}, 0)
 	if len(a) != 5000 || len(b) != 5000 {
 		t.Fatalf("lengths %d, %d", len(a), len(b))
 	}
@@ -64,8 +64,8 @@ func TestGeneratorDeterminism(t *testing.T) {
 
 func TestGeneratorSeedsDiffer(t *testing.T) {
 	p, _ := ByName("compress")
-	a := trace.Collect(&trace.Limit{S: Stream(p, 1), N: 1000}, 0)
-	b := trace.Collect(&trace.Limit{S: Stream(p, 2), N: 1000}, 0)
+	a := trace.Collect(&trace.Limit{S: Source(p, 1), N: 1000}, 0)
+	b := trace.Collect(&trace.Limit{S: Source(p, 2), N: 1000}, 0)
 	same := true
 	for i := range a {
 		if a[i] != b[i] {
@@ -127,15 +127,8 @@ func TestValidOpsAndPCs(t *testing.T) {
 
 // missRatio runs a profile's memory stream through a cache and returns
 // the load miss ratio.
-func missRatio(p Profile, c *cache.Cache, n int) float64 {
-	s := &trace.MemOnly{S: Stream(p, 11)}
-	for i := 0; i < n; i++ {
-		r, ok := s.Next()
-		if !ok {
-			break
-		}
-		c.Access(r.Addr, r.Op == trace.OpStore)
-	}
+func missRatio(p Profile, c *cache.Cache, n uint64) float64 {
+	c.ReplaySource(&trace.Limit{S: &trace.MemOnly{S: Source(p, 11)}, N: n}, 0)
 	return c.Stats().ReadMissRatio()
 }
 
@@ -224,7 +217,7 @@ func TestStrideStreamPanics(t *testing.T) {
 
 func TestTiledMatMul(t *testing.T) {
 	s := NewTiledMatMulStream(4, 2, 0, 1<<20, 2<<20)
-	recs := trace.Collect(s, 0)
+	recs := trace.Collect(trace.SourceOf(s), 0)
 	if len(recs) == 0 {
 		t.Fatal("empty matmul trace")
 	}
