@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-cache bench-trace fuzz-smoke lint ci
+.PHONY: build test race bench bench-smoke bench-cache bench-trace fuzz-smoke lint report ci
 
 build:
 	$(GO) build ./...
@@ -39,7 +39,7 @@ bench-cache:
 # is gitignored, the committed BENCH_trace.json is the curated
 # before/after record.
 bench-trace:
-	$(GO) test -run '^$$' -bench 'BenchmarkWorkloadGen|BenchmarkGeneratorChunk|BenchmarkMemOnlyChunk|BenchmarkTraceStoreReplay|BenchmarkTraceCodecChunk|BenchmarkCPUSim' -benchmem -benchtime 1s . > bench_trace.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkGeneratorChunk|BenchmarkMemOnlyChunk|BenchmarkTraceStoreReplay|BenchmarkTraceCodecChunk|BenchmarkCPUSim' -benchmem -benchtime 1s . > bench_trace.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkReproAll' -benchtime 1x . >> bench_trace.txt
 	$(GO) run ./cmd/benchjson -suite trace < bench_trace.txt > BENCH_trace.current.json
 	@cat BENCH_trace.current.json
@@ -56,4 +56,15 @@ lint:
 		echo "gofmt needed on:" >&2; echo "$$diff" >&2; exit 1; \
 	fi
 
-ci: build lint test race bench-smoke
+# Machine-readable registry spec and report envelope, mirroring the CI
+# artifact step: repro-list.current.json (the real binary's output) is
+# schema-checked byte-for-byte by TestListJSONSchema via REPRO_LIST_JSON,
+# repro-report.current.json is the reduced-scale `repro all -json`
+# envelope CI uploads for diffing across PRs.  Both are gitignored.
+report:
+	$(GO) run ./cmd/repro list -json > repro-list.current.json
+	REPRO_LIST_JSON=$(CURDIR)/repro-list.current.json $(GO) test ./internal/cli -run TestListJSONSchema
+	$(GO) run ./cmd/repro all -instructions 20000 -maxstride 512 -json > repro-report.current.json
+	@wc -c repro-list.current.json repro-report.current.json
+
+ci: build lint test race bench-smoke report

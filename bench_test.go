@@ -20,6 +20,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/exp"
 	"repro/internal/experiments"
 	"repro/internal/gf2"
 	"repro/internal/hierarchy"
@@ -30,9 +31,24 @@ import (
 	"repro/internal/workload"
 )
 
-// benchOpts scales experiments so a -bench=. sweep finishes in minutes.
-func benchOpts() experiments.Options {
-	return experiments.Options{Instructions: 50_000, Seed: 1997, Fig1Rounds: 9, MaxStride: 1024}
+// benchBase scales experiments so a -bench=. sweep finishes in minutes.
+func benchBase() exp.Base {
+	return exp.Base{Instructions: 50_000, Seed: 1997}
+}
+
+// benchFig1 is the Figure 1 sweep at benchmark scale.
+func benchFig1() experiments.Fig1Config {
+	return experiments.Fig1Config{Base: benchBase(), Rounds: 9, MaxStride: 1024}
+}
+
+// benchRun executes a typed driver and fails the benchmark on error.
+func benchRun[C any, R any](b *testing.B, run func(context.Context, C) (R, error), cfg C) R {
+	b.Helper()
+	res, err := run(context.Background(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
 }
 
 // ---------------------------------------------------------------------------
@@ -45,19 +61,19 @@ func benchOpts() experiments.Options {
 // bit-identical at every worker count; see the experiments package's
 // determinism tests).
 func BenchmarkRunnerParallel(b *testing.B) {
-	o := benchOpts()
-	o.MaxStride = 4096 // the full sweep, so there is real work to split
+	cfg := benchFig1()
+	cfg.MaxStride = 4096 // the full sweep, so there is real work to split
 	b.Run("serial", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			experiments.RunFig1Serial(o)
+			experiments.RunFig1Serial(cfg)
 		}
 	})
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			oo := o
-			oo.Workers = workers
+			cc := cfg
+			cc.Workers = workers
 			for i := 0; i < b.N; i++ {
-				experiments.RunFig1(oo)
+				benchRun(b, experiments.RunFig1Ctx, cc)
 			}
 		})
 	}
@@ -65,9 +81,9 @@ func BenchmarkRunnerParallel(b *testing.B) {
 
 // BenchmarkFigure1 regenerates the Figure 1 stride sweep.
 func BenchmarkFigure1(b *testing.B) {
-	o := benchOpts()
+	cfg := benchFig1()
 	for i := 0; i < b.N; i++ {
-		res := experiments.RunFig1(o)
+		res := benchRun(b, experiments.RunFig1Ctx, cfg)
 		b.ReportMetric(100*res.PathologicalFraction(index.SchemeModulo), "patho-a2-%")
 		b.ReportMetric(100*res.PathologicalFraction(index.SchemeIPolySk), "patho-HpSk-%")
 	}
@@ -76,9 +92,9 @@ func BenchmarkFigure1(b *testing.B) {
 // BenchmarkTable2 regenerates the full Table 2 grid (18 benchmarks x 6
 // configurations) and reports the combined-average headline columns.
 func BenchmarkTable2(b *testing.B) {
-	o := benchOpts()
+	cfg := experiments.Table2Config{Base: benchBase()}
 	for i := 0; i < b.N; i++ {
-		res := experiments.RunTable2(o)
+		res := benchRun(b, experiments.RunTable2Ctx, cfg)
 		b.ReportMetric(res.Combined.C8IPC, "IPC-conv8K")
 		b.ReportMetric(res.Combined.IPolyIPC, "IPC-ipoly")
 		b.ReportMetric(res.Combined.C8Miss, "miss%-conv8K")
@@ -88,9 +104,9 @@ func BenchmarkTable2(b *testing.B) {
 
 // BenchmarkTable3 regenerates the Table 3 bad/good breakdown.
 func BenchmarkTable3(b *testing.B) {
-	o := benchOpts()
+	cfg := experiments.Table3Config{Base: benchBase()}
 	for i := 0; i < b.N; i++ {
-		res := experiments.RunTable3(o)
+		res := benchRun(b, experiments.RunTable3Ctx, cfg)
 		b.ReportMetric(res.BadAvg.C8IPC, "IPC-bad-conv")
 		b.ReportMetric(res.BadAvg.InCPPredIPC, "IPC-bad-ipoly+pred")
 	}
@@ -98,9 +114,9 @@ func BenchmarkTable3(b *testing.B) {
 
 // BenchmarkHoles regenerates the §3.3 hole-probability validation.
 func BenchmarkHoles(b *testing.B) {
-	o := benchOpts()
+	cfg := experiments.HolesConfig{Base: benchBase()}
 	for i := 0; i < b.N; i++ {
-		res := experiments.RunHoles(o)
+		res := benchRun(b, experiments.RunHolesCtx, cfg)
 		last := res.Sweep[len(res.Sweep)-1]
 		b.ReportMetric(last.ModelPH, "model-PH")
 		b.ReportMetric(last.Measured, "measured-PH")
@@ -109,9 +125,9 @@ func BenchmarkHoles(b *testing.B) {
 
 // BenchmarkMissRatioOrgs regenerates the §2.1 organization comparison.
 func BenchmarkMissRatioOrgs(b *testing.B) {
-	o := benchOpts()
+	cfg := experiments.OrgsConfig{Base: benchBase()}
 	for i := 0; i < b.N; i++ {
-		res := experiments.RunOrgs(o)
+		res := benchRun(b, experiments.RunOrgsCtx, cfg)
 		for j, n := range res.Orgs {
 			if n == "2-way I-Poly-Sk" || n == "fully-assoc" || n == "2-way" {
 				b.ReportMetric(res.Avg[j], "miss%-"+strings.ReplaceAll(n, " ", "_"))
@@ -122,9 +138,9 @@ func BenchmarkMissRatioOrgs(b *testing.B) {
 
 // BenchmarkStdDev regenerates the §5 predictability study.
 func BenchmarkStdDev(b *testing.B) {
-	o := benchOpts()
+	cfg := experiments.StdDevConfig{Base: benchBase()}
 	for i := 0; i < b.N; i++ {
-		res := experiments.RunStdDev(o)
+		res := benchRun(b, experiments.RunStdDevCtx, cfg)
 		b.ReportMetric(res.ConvStdDev, "stddev-conv")
 		b.ReportMetric(res.IPolyStdDev, "stddev-ipoly")
 	}
@@ -132,9 +148,9 @@ func BenchmarkStdDev(b *testing.B) {
 
 // BenchmarkColAssoc regenerates the §3.1 option-4 probe study.
 func BenchmarkColAssoc(b *testing.B) {
-	o := benchOpts()
+	cfg := experiments.ColAssocConfig{Base: benchBase()}
 	for i := 0; i < b.N; i++ {
-		res := experiments.RunColAssoc(o)
+		res := benchRun(b, experiments.RunColAssocCtx, cfg)
 		var sum float64
 		for _, r := range res.FirstProbeRate {
 			sum += r
@@ -145,9 +161,9 @@ func BenchmarkColAssoc(b *testing.B) {
 
 // BenchmarkOptions31 regenerates the §3.1 implementation-options study.
 func BenchmarkOptions31(b *testing.B) {
-	o := benchOpts()
+	cfg := experiments.Options31Config{Base: benchBase()}
 	for i := 0; i < b.N; i++ {
-		res := experiments.RunOptions31(o)
+		res := benchRun(b, experiments.RunOptions31Ctx, cfg)
 		b.ReportMetric(res.Option1IPC, "IPC-physindex")
 		b.ReportMetric(res.Option3IPC, "IPC-virtualreal")
 	}
@@ -155,9 +171,9 @@ func BenchmarkOptions31(b *testing.B) {
 
 // BenchmarkSweep regenerates the size x ways x scheme design-space grid.
 func BenchmarkSweep(b *testing.B) {
-	o := benchOpts()
+	cfg := experiments.SweepConfig{Base: benchBase()}
 	for i := 0; i < b.N; i++ {
-		res := experiments.RunSweep(o)
+		res := benchRun(b, experiments.RunSweepCtx, cfg)
 		if v, ok := res.At(8, 2, index.SchemeIPolySk); ok {
 			b.ReportMetric(v, "miss%-8K2w-ipoly")
 		}
@@ -166,9 +182,9 @@ func BenchmarkSweep(b *testing.B) {
 
 // BenchmarkThreeC regenerates the 3C miss-classification study.
 func BenchmarkThreeC(b *testing.B) {
-	o := benchOpts()
+	cfg := experiments.ThreeCConfig{Base: benchBase()}
 	for i := 0; i < b.N; i++ {
-		res := experiments.RunThreeC(o)
+		res := benchRun(b, experiments.RunThreeCCtx, cfg)
 		var conv, ip float64
 		for j := range res.Conventional {
 			conv += res.Conventional[j].Conflict
@@ -182,10 +198,11 @@ func BenchmarkThreeC(b *testing.B) {
 
 // BenchmarkAblations regenerates the DESIGN.md design-choice ablations.
 func BenchmarkAblations(b *testing.B) {
-	o := benchOpts()
-	o.Instructions = 20_000
+	base := benchBase()
+	base.Instructions = 20_000
+	cfg := experiments.AblateConfig{Base: base}
 	for i := 0; i < b.N; i++ {
-		res := experiments.RunAblate(o)
+		res := benchRun(b, experiments.RunAblateCtx, cfg)
 		b.ReportMetric(res.IrreducibleMiss, "miss%-irreducible")
 		b.ReportMetric(res.ReducibleMiss, "miss%-reducible")
 		b.ReportMetric(res.UnskewedMiss, "miss%-unskewed")
@@ -195,9 +212,9 @@ func BenchmarkAblations(b *testing.B) {
 // BenchmarkInterleave regenerates the §2.1 interleaved-memory lineage
 // comparison.
 func BenchmarkInterleave(b *testing.B) {
-	o := benchOpts()
+	cfg := experiments.InterleaveConfig{Base: benchBase(), MaxStride: 1024}
 	for i := 0; i < b.N; i++ {
-		res := experiments.RunInterleave(o)
+		res := benchRun(b, experiments.RunInterleaveCtx, cfg)
 		for j, s := range res.Schemes {
 			if s == "ipoly-16" || s == "modulo-16" {
 				b.ReportMetric(res.MeanBW[j], "BW-"+s)
@@ -323,19 +340,6 @@ func BenchmarkCPUSim(b *testing.B) {
 	b.ResetTimer()
 	res := coreSim.Run(&trace.Limit{S: s, N: uint64(b.N)}, uint64(b.N))
 	b.ReportMetric(res.IPC(), "simulated-IPC")
-}
-
-// BenchmarkWorkloadGen measures trace generation through the legacy
-// record-at-a-time Stream interface — the baseline the chunked path is
-// measured against.
-func BenchmarkWorkloadGen(b *testing.B) {
-	prof, _ := workload.ByName("tomcatv")
-	s := workload.Stream(prof, 42)
-	for i := 0; i < b.N; i++ {
-		if _, ok := s.Next(); !ok {
-			b.Fatal("stream ended")
-		}
-	}
 }
 
 // ---------------------------------------------------------------------------

@@ -1,15 +1,18 @@
 // Command repro is the unified experiment runner for "The Design and
-// Performance of a Conflict-avoiding Cache" (MICRO-30, 1997): one
-// subcommand per paper table/figure/study, executed on a deterministic
-// parallel sweep engine, plus the trace and hardware-audit tools.
+// Performance of a Conflict-avoiding Cache" (MICRO-30, 1997).  Its
+// subcommands are generated from the experiment registry
+// (internal/exp): one per registered paper table/figure/study, executed
+// on a deterministic parallel sweep engine, plus the trace and
+// hardware-audit tools.
 //
 // Usage:
 //
-//	repro <experiment> [-instructions N] [-seed S] [-workers W] [-json]
+//	repro <experiment> [flags from the experiment's parameter spec] [-json]
 //	repro all [flags]
-//	repro list
+//	repro list [-json]
 //
-// Run `repro help` for the full subcommand table.
+// Run `repro help` for the full subcommand table and `repro list` for
+// every experiment's parameters.
 package main
 
 import (

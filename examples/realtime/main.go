@@ -7,14 +7,22 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"os"
 
+	"repro/internal/exp"
 	"repro/internal/experiments"
 	"repro/internal/stats"
 )
 
 func main() {
-	res := experiments.RunStdDev(experiments.Options{Instructions: 150_000})
+	cfg := experiments.StdDevConfig{Base: exp.Base{Instructions: 150_000}}
+	res, err := experiments.RunStdDevCtx(context.Background(), cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	fmt.Println("Per-workload load miss ratios, 8KB 2-way (synthetic Spec95 suite):")
 	fmt.Printf("%-10s %14s %14s\n", "bench", "conventional", "I-Poly")

@@ -1,9 +1,11 @@
-// Package cli implements the unified `repro` command line: one
-// subcommand per paper table/figure/study, all backed by the parallel
-// sweep engine in internal/runner, plus the trace and hardware-audit
-// tools that used to be standalone binaries.  Every legacy cmd/*
-// binary is now a thin shim over this package, so CI exercises a
-// single code path.
+// Package cli implements the unified `repro` command line, generated
+// from the experiment registry in internal/exp: `repro list` enumerates
+// the registered experiments with their parameter specs, `repro <name>`
+// derives its flag set from the experiment's typed config, and
+// `repro all` iterates the whole registry — there is no per-subcommand
+// switch to edit when an experiment is added.  The trace and
+// hardware-audit tools (gates, stridescan, tracegen, tracesim) complete
+// the binary.
 package cli
 
 import (
@@ -15,61 +17,14 @@ import (
 	"io"
 	"os"
 	"os/signal"
-	"sort"
 	"syscall"
 	"time"
 
-	"repro/internal/experiments"
+	"repro/internal/exp"
+
+	// Register every experiment of the paper reproduction.
+	_ "repro/internal/experiments"
 )
-
-// experiment binds a subcommand name to its driver.
-type experiment struct {
-	name string
-	desc string
-	// render produces the human-readable tables/histograms.
-	render func(context.Context, experiments.Options) (string, error)
-	// raw produces the structured result for -json output.
-	raw func(context.Context, experiments.Options) (any, error)
-}
-
-// exp adapts a typed RunXCtx driver into an experiment entry.
-func exp[T interface{ Render() string }](name, desc string, run func(context.Context, experiments.Options) (T, error)) experiment {
-	return experiment{
-		name: name,
-		desc: desc,
-		render: func(ctx context.Context, o experiments.Options) (string, error) {
-			r, err := run(ctx, o)
-			if err != nil {
-				return "", err
-			}
-			return r.Render(), nil
-		},
-		raw: func(ctx context.Context, o experiments.Options) (any, error) {
-			r, err := run(ctx, o)
-			return r, err
-		},
-	}
-}
-
-// experimentList returns every experiment subcommand in name order.
-func experimentList() []experiment {
-	exps := []experiment{
-		exp("fig1", "Figure 1: miss-ratio distribution across strides, 4 index schemes", experiments.RunFig1Ctx),
-		exp("table2", "Table 2: IPC & load miss ratio, 18 benchmarks x 6 configurations", experiments.RunTable2Ctx),
-		exp("table3", "Table 3: high-conflict programs and bad/good averages", experiments.RunTable3Ctx),
-		exp("holes", "§3.3: hole probability model vs simulation", experiments.RunHolesCtx),
-		exp("missratio", "§2.1: cache organization comparison (I-Poly vs alternatives)", experiments.RunOrgsCtx),
-		exp("stddev", "§5: miss-ratio predictability (stddev across the suite)", experiments.RunStdDevCtx),
-		exp("colassoc", "§3.1 option 4: column-associative polynomial rehash", experiments.RunColAssocCtx),
-		exp("options31", "§3.1: the four routes around minimum-page-size limits", experiments.RunOptions31Ctx),
-		exp("sweep", "design-space sweep: size x ways x scheme miss-ratio grid", experiments.RunSweepCtx),
-		exp("threec", "3C miss classification per benchmark, conventional vs I-Poly", experiments.RunThreeCCtx),
-		exp("interleave", "§2.1 lineage: interleaved-memory bank selectors, bandwidth vs stride", experiments.RunInterleaveCtx),
-		exp("ablate", "design-choice ablations (polynomial, skew, bits, replacement, MSHRs, predictor, L2)", experiments.RunAblateCtx),
-	}
-	sort.Slice(exps, func(i, j int) bool { return exps[i].name < exps[j].name })
-	return exps
-}
 
 // Main is the `repro` entry point: it installs signal-driven
 // cancellation (SIGINT/SIGTERM abort the worker pool) and dispatches.
@@ -92,10 +47,9 @@ func Run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 		usage(stdout)
 		return 0
 	case "list":
-		listExperiments(stdout)
-		return 0
+		return listMain(rest, stdout, stderr)
 	case "all":
-		return runExperiments(ctx, experimentList(), rest, stdout, stderr)
+		return allMain(ctx, rest, stdout, stderr)
 	case "gates":
 		return gatesMain(rest, stdout, stderr)
 	case "stridescan":
@@ -105,10 +59,8 @@ func Run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	case "tracesim":
 		return tracesimMain(ctx, rest, stdout, stderr)
 	}
-	for _, e := range experimentList() {
-		if e.name == name {
-			return runExperiments(ctx, []experiment{e}, rest, stdout, stderr)
-		}
+	if e, ok := exp.Get(name); ok {
+		return oneMain(ctx, e, rest, stdout, stderr)
 	}
 	fmt.Fprintf(stderr, "repro: unknown subcommand %q (run `repro help`)\n", name)
 	return 2
@@ -127,86 +79,194 @@ func parseFlags(fs *flag.FlagSet, args []string) (code int, proceed bool) {
 	}
 }
 
-// expFlags parses the shared experiment flags.
-func expFlags(name string, args []string, stderr io.Writer) (_ experiments.Options, asJSON bool, code int, proceed bool) {
-	fs := flag.NewFlagSet("repro "+name, flag.ContinueOnError)
-	fs.SetOutput(stderr)
-	instrs := fs.Uint64("instructions", 0, "instructions per benchmark per configuration (0 = default 200k)")
-	seed := fs.Uint64("seed", 0, "workload seed (0 = default 1997)")
-	stride := fs.Int("maxstride", 0, "figure 1 stride sweep bound (0 = default 4096)")
-	rounds := fs.Int("rounds", 0, "figure 1 walk rounds per stride (0 = default 17)")
-	workers := fs.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS); results are identical at any count")
-	jsonOut := fs.Bool("json", false, "emit structured JSON instead of rendered text")
-	if code, ok := parseFlags(fs, args); !ok {
-		return experiments.Options{}, false, code, false
-	}
-	return experiments.Options{
-		Instructions: *instrs,
-		Seed:         *seed,
-		MaxStride:    *stride,
-		Fig1Rounds:   *rounds,
-		Workers:      *workers,
-	}, *jsonOut, 0, true
-}
-
-// runExperiments executes the given experiments with one shared flag
-// set.  In JSON mode the combined result is marshalled once with sorted
-// keys, so output is byte-identical at every worker count.
-func runExperiments(ctx context.Context, exps []experiment, args []string, stdout, stderr io.Writer) int {
-	name := "all"
-	if len(exps) == 1 {
-		name = exps[0].name
-	}
-	opts, asJSON, code, ok := expFlags(name, args, stderr)
-	if !ok {
-		return code
-	}
-	if asJSON {
-		out := make(map[string]any, len(exps))
-		for _, e := range exps {
-			r, err := e.raw(ctx, opts)
-			if err != nil {
-				fmt.Fprintf(stderr, "repro %s: %v\n", e.name, err)
-				return 1
-			}
-			out[e.name] = r
-		}
-		enc := json.NewEncoder(stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
-			fmt.Fprintf(stderr, "repro: %v\n", err)
-			return 1
-		}
-		return 0
-	}
-	for _, e := range exps {
-		start := time.Now()
-		fmt.Fprintf(stdout, "=== %s ===\n", e.name)
-		s, err := e.render(ctx, opts)
-		if err != nil {
-			fmt.Fprintf(stderr, "repro %s: %v\n", e.name, err)
-			return 1
-		}
-		fmt.Fprintln(stdout, s)
-		fmt.Fprintf(stdout, "[%s completed in %v]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+// emitJSON writes v as indented JSON.
+func emitJSON(v any, stdout, stderr io.Writer) int {
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintf(stderr, "repro: %v\n", err)
+		return 1
 	}
 	return 0
 }
 
-func listExperiments(w io.Writer) {
-	fmt.Fprintln(w, "Experiments:")
-	for _, e := range experimentList() {
-		fmt.Fprintf(w, "  %-10s %s\n", e.name, e.desc)
+// oneMain runs a single registered experiment.  Its flag set is derived
+// from the experiment's parameter spec: each flag writes straight
+// through to the typed config the driver receives.
+func oneMain(ctx context.Context, e exp.Experiment, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("repro "+e.Name, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cfg := e.New()
+	for _, p := range exp.ParamsOf(cfg) {
+		fs.Var(p, p.Name, p.Help)
 	}
+	jsonOut := fs.Bool("json", false, "emit the report JSON envelope instead of rendered text")
+	if code, ok := parseFlags(fs, args); !ok {
+		return code
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintf(stderr, "repro %s: %v\n", e.Name, err)
+		return 2
+	}
+	if *jsonOut {
+		rep, err := exp.Run(ctx, e, cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "repro %s: %v\n", e.Name, err)
+			return 1
+		}
+		return emitJSON(rep, stdout, stderr)
+	}
+	if err := renderOne(ctx, e, cfg, stdout); err != nil {
+		fmt.Fprintf(stderr, "repro %s: %v\n", e.Name, err)
+		return 1
+	}
+	return 0
+}
+
+// renderOne runs one experiment and streams its rendered report.
+func renderOne(ctx context.Context, e exp.Experiment, cfg exp.Config, stdout io.Writer) error {
+	fmt.Fprintf(stdout, "=== %s ===\n", e.Name)
+	rep, err := exp.Run(ctx, e, cfg)
+	if err != nil {
+		return err
+	}
+	rep.Render(stdout)
+	fmt.Fprintf(stdout, "[%s completed in %v]\n\n", e.Name, rep.Wall.Round(time.Millisecond))
+	return nil
+}
+
+// fanout applies one CLI flag to the same-named parameter of several
+// experiment configs — `repro all -maxstride 512` reaches both fig1 and
+// interleave.
+type fanout struct {
+	params []*exp.Param
+}
+
+func (f *fanout) String() string {
+	if len(f.params) == 0 {
+		return ""
+	}
+	return f.params[0].String()
+}
+
+func (f *fanout) Set(s string) error {
+	for _, p := range f.params {
+		if err := p.Set(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// allMain runs every registered experiment.  The shared flag set is the
+// union of every experiment's parameters; a flag fans out to each
+// config that declares it.  All experiments are attempted even when
+// some fail (unless the context is cancelled, which dooms the rest):
+// the per-experiment errors are summarised on stderr — and recorded in
+// the JSON envelope — and the exit code is non-zero.
+func allMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	all := exp.All()
+	fs := flag.NewFlagSet("repro all", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cfgs := make([]exp.Config, len(all))
+	fans := make(map[string]*fanout)
+	var order []string
+	for i, e := range all {
+		cfgs[i] = e.New()
+		for _, p := range exp.ParamsOf(cfgs[i]) {
+			f, ok := fans[p.Name]
+			if !ok {
+				f = &fanout{}
+				fans[p.Name] = f
+				order = append(order, p.Name)
+			}
+			f.params = append(f.params, p)
+		}
+	}
+	for _, name := range order {
+		fs.Var(fans[name], name, fans[name].params[0].Help)
+	}
+	jsonOut := fs.Bool("json", false, "emit the report-set JSON envelope instead of rendered text")
+	if code, ok := parseFlags(fs, args); !ok {
+		return code
+	}
+	for i, e := range all {
+		if err := cfgs[i].Validate(); err != nil {
+			fmt.Fprintf(stderr, "repro all: %s: %v\n", e.Name, err)
+			return 2
+		}
+	}
+
+	env := exp.Envelope{Schema: exp.EnvelopeSchema, Reports: []*exp.Report{}}
+	for i, e := range all {
+		if *jsonOut {
+			rep, err := exp.Run(ctx, e, cfgs[i])
+			if err != nil {
+				env.Errors = append(env.Errors, exp.RunError{Experiment: e.Name, Error: err.Error()})
+			} else {
+				env.Reports = append(env.Reports, rep)
+			}
+		} else if err := renderOne(ctx, e, cfgs[i], stdout); err != nil {
+			env.Errors = append(env.Errors, exp.RunError{Experiment: e.Name, Error: err.Error()})
+		}
+		if ctx.Err() != nil && len(env.Errors) > 0 {
+			// Cancellation dooms every remaining experiment; stop instead
+			// of reporting the same error eleven more times.
+			break
+		}
+	}
+	if *jsonOut {
+		if code := emitJSON(env, stdout, stderr); code != 0 {
+			return code
+		}
+	}
+	if len(env.Errors) > 0 {
+		fmt.Fprintf(stderr, "repro all: %d of %d experiments failed:\n", len(env.Errors), len(all))
+		for _, f := range env.Errors {
+			fmt.Fprintf(stderr, "  %-10s %s\n", f.Experiment, f.Error)
+		}
+		return 1
+	}
+	return 0
+}
+
+// listMain prints the registry: summaries plus each experiment's
+// parameter spec; -json emits the machine-readable form.
+func listMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("repro list", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit the registry spec as JSON")
+	if code, ok := parseFlags(fs, args); !ok {
+		return code
+	}
+	if *jsonOut {
+		return emitJSON(exp.Specs(), stdout, stderr)
+	}
+	fmt.Fprintln(stdout, "Experiments:")
+	for _, s := range exp.Specs() {
+		fmt.Fprintf(stdout, "  %-10s %s\n", s.Name, s.Summary)
+		fmt.Fprintf(stdout, "  %-10s ", "")
+		for i, p := range s.Params {
+			if i > 0 {
+				fmt.Fprint(stdout, " ")
+			}
+			fmt.Fprintf(stdout, "[-%s %s=%s]", p.Name, p.Kind, p.Default)
+		}
+		fmt.Fprintln(stdout)
+	}
+	return 0
 }
 
 func usage(w io.Writer) {
 	fmt.Fprintln(w, "repro: reproduction harness for the conflict-avoiding cache (MICRO-30 1997)")
-	fmt.Fprintln(w, "\nUsage:\n  repro <experiment> [-instructions N] [-seed S] [-workers W] [-json]")
-	fmt.Fprintln(w, "  repro all [flags]       run every experiment")
-	fmt.Fprintln(w, "  repro list              list experiments")
+	fmt.Fprintln(w, "\nUsage:\n  repro <experiment> [flags from the experiment's parameter spec] [-json]")
+	fmt.Fprintln(w, "  repro all [flags]       run every registered experiment")
+	fmt.Fprintln(w, "  repro list [-json]      list experiments with their parameter specs")
 	fmt.Fprintln(w)
-	listExperiments(w)
+	fmt.Fprintln(w, "Experiments (run `repro list` for parameters, `repro <name> -h` for help):")
+	for _, s := range exp.Specs() {
+		fmt.Fprintf(w, "  %-10s %s\n", s.Name, s.Summary)
+	}
 	fmt.Fprintln(w, "\nTools:")
 	fmt.Fprintln(w, "  gates       I-Poly index hardware audit (irreducible polynomials, XOR fan-in)")
 	fmt.Fprintln(w, "  stridescan  dissect one stride of the Figure 1 kernel across schemes")

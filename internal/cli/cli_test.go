@@ -4,13 +4,19 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
+	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
+
+	"repro/internal/exp"
 )
 
 // tinyFlags keeps every experiment fast enough to run the full `all`
-// sweep three times.
+// sweep several times.  The stride/rounds flags exist on the union flag
+// set of `repro all` (they fan out to fig1/interleave).
 func tinyFlags(extra ...string) []string {
 	return append([]string{
 		"-instructions", "4000", "-seed", "7", "-maxstride", "160", "-rounds", "5",
@@ -27,24 +33,34 @@ func runCLI(t *testing.T, args ...string) string {
 	return stdout.String()
 }
 
-// TestAllJSONByteIdenticalAcrossWorkers is the PR's headline acceptance
-// criterion: `repro all -workers=N -json` emits byte-identical output
-// for N in {1, 4, 16} with a fixed seed.
+// TestAllJSONByteIdenticalAcrossWorkers is the determinism headline:
+// `repro all -workers=N -json` emits a byte-identical envelope for N in
+// {1, 4, 16} with a fixed seed.
 func TestAllJSONByteIdenticalAcrossWorkers(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the full experiment suite three times")
 	}
 	golden := runCLI(t, append([]string{"all"}, tinyFlags("-json", "-workers", "1")...)...)
-	if !json.Valid([]byte(golden)) {
-		t.Fatal("all -json emitted invalid JSON")
+	var env exp.Envelope
+	if err := json.Unmarshal([]byte(golden), &env); err != nil {
+		t.Fatalf("all -json is not an envelope: %v", err)
 	}
-	// Every experiment must appear as a top-level key.
-	var decoded map[string]any
-	if err := json.Unmarshal([]byte(golden), &decoded); err != nil {
-		t.Fatal(err)
+	if env.Schema != exp.EnvelopeSchema {
+		t.Errorf("envelope schema = %q, want %q", env.Schema, exp.EnvelopeSchema)
 	}
-	if len(decoded) != len(experimentList()) {
-		t.Fatalf("all -json has %d keys, want %d", len(decoded), len(experimentList()))
+	if len(env.Reports) != len(exp.All()) {
+		t.Fatalf("envelope has %d reports, want %d", len(env.Reports), len(exp.All()))
+	}
+	if len(env.Errors) != 0 {
+		t.Fatalf("envelope records errors: %+v", env.Errors)
+	}
+	for i, e := range exp.All() {
+		if env.Reports[i].Experiment != e.Name {
+			t.Errorf("report %d is %q, want %q (registry order)", i, env.Reports[i].Experiment, e.Name)
+		}
+		if env.Reports[i].Schema != exp.ReportSchema {
+			t.Errorf("report %s schema = %q", e.Name, env.Reports[i].Schema)
+		}
 	}
 	for _, workers := range []string{"4", "16"} {
 		got := runCLI(t, append([]string{"all"}, tinyFlags("-json", "-workers", workers)...)...)
@@ -55,20 +71,37 @@ func TestAllJSONByteIdenticalAcrossWorkers(t *testing.T) {
 	}
 }
 
-func TestFig1JSONDeterministicAcrossWorkers(t *testing.T) {
-	golden := runCLI(t, append([]string{"fig1"}, tinyFlags("-json", "-workers", "1")...)...)
-	for _, workers := range []string{"4", "16"} {
-		if got := runCLI(t, append([]string{"fig1"}, tinyFlags("-json", "-workers", workers)...)...); got != golden {
-			t.Errorf("fig1 -workers=%s JSON differs from -workers=1", workers)
-		}
+// TestReportEnvelopeRoundTrip pins the documented JSON contract: the
+// single-experiment output decodes into exp.Report, and re-encoding the
+// decoded value reproduces the original bytes.
+func TestReportEnvelopeRoundTrip(t *testing.T) {
+	out := runCLI(t, "fig1", "-instructions", "4000", "-maxstride", "160", "-rounds", "5", "-json")
+	var rep exp.Report
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("fig1 -json does not decode into Report: %v", err)
 	}
-	if !strings.Contains(golden, "\"fig1\"") {
-		t.Error("fig1 JSON missing its experiment key")
+	if rep.Schema != exp.ReportSchema || rep.Experiment != "fig1" {
+		t.Errorf("report identity: schema %q experiment %q", rep.Schema, rep.Experiment)
+	}
+	if rep.Seed != exp.DefaultSeed || rep.Instructions != 4000 {
+		t.Errorf("report metadata: seed %d instructions %d", rep.Seed, rep.Instructions)
+	}
+	if rep.Table("pathological") == nil {
+		t.Error("report missing the pathological table")
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != out {
+		t.Error("decode -> re-encode did not reproduce the CLI bytes")
 	}
 }
 
 func TestExperimentRenderSmoke(t *testing.T) {
-	out := runCLI(t, append([]string{"interleave"}, tinyFlags()...)...)
+	out := runCLI(t, "interleave", "-instructions", "4000", "-seed", "7", "-maxstride", "160")
 	for _, want := range []string{"=== interleave ===", "ipoly-16", "completed in"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("interleave output missing %q", want)
@@ -78,10 +111,20 @@ func TestExperimentRenderSmoke(t *testing.T) {
 
 func TestListAndHelp(t *testing.T) {
 	list := runCLI(t, "list")
-	for _, e := range experimentList() {
-		if !strings.Contains(list, e.name) {
-			t.Errorf("list output missing %q", e.name)
+	for _, s := range exp.Specs() {
+		if !strings.Contains(list, s.Name) {
+			t.Errorf("list output missing %q", s.Name)
 		}
+	}
+	// The parameter spec is part of the listing.
+	for _, want := range []string{"[-instructions uint=200000]", "[-seed uint=1997]", "[-maxstride int=4096]", "[-rounds int=17]"} {
+		if !strings.Contains(list, want) {
+			t.Errorf("list output missing param spec %q", want)
+		}
+	}
+	// Output is stable across invocations.
+	if again := runCLI(t, "list"); again != list {
+		t.Error("repro list output is not stable across invocations")
 	}
 	help := runCLI(t, "help")
 	for _, want := range []string{"repro", "tracegen", "-workers"} {
@@ -95,6 +138,67 @@ func TestListAndHelp(t *testing.T) {
 	}
 }
 
+// TestListJSONSchema pins the machine-readable registry spec: it must
+// decode into []exp.Spec, cover every registered experiment, and carry
+// the shared base parameters first.  CI runs this as its
+// `repro list -json` schema gate.
+func TestListJSONSchema(t *testing.T) {
+	out := runCLI(t, "list", "-json")
+	var specs []exp.Spec
+	if err := json.Unmarshal([]byte(out), &specs); err != nil {
+		t.Fatalf("list -json does not decode into []Spec: %v", err)
+	}
+	all := exp.All()
+	if len(specs) != len(all) {
+		t.Fatalf("spec has %d entries, want %d", len(specs), len(all))
+	}
+	for i, s := range specs {
+		if s.Name != all[i].Name {
+			t.Errorf("spec %d is %q, want %q (name order)", i, s.Name, all[i].Name)
+		}
+		if s.Summary == "" {
+			t.Errorf("%s: empty summary", s.Name)
+		}
+		if len(s.Params) < 3 {
+			t.Fatalf("%s: only %d params", s.Name, len(s.Params))
+		}
+		for j, base := range []string{"instructions", "seed", "workers"} {
+			if s.Params[j].Name != base {
+				t.Errorf("%s: param %d = %q, want shared base param %q", s.Name, j, s.Params[j].Name, base)
+			}
+		}
+		for _, p := range s.Params {
+			if p.Kind == "" || p.Default == "" || p.Help == "" {
+				t.Errorf("%s: param %q underspecified: %+v", s.Name, p.Name, p)
+			}
+		}
+	}
+	// The decoded spec matches the in-process registry spec.
+	want, err := json.Marshal(exp.Specs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("decoded spec differs from the registry spec")
+	}
+	// When CI (or `make report`) points REPRO_LIST_JSON at the artifact
+	// generated by the real binary, check the uploaded bytes too — this
+	// covers the cmd/repro wiring the in-process calls above bypass.
+	if path := os.Getenv("REPRO_LIST_JSON"); path != "" {
+		artifact, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("REPRO_LIST_JSON: %v", err)
+		}
+		if string(artifact) != out {
+			t.Errorf("artifact %s differs from in-process `repro list -json` output", path)
+		}
+	}
+}
+
 func TestUnknownSubcommand(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := Run(context.Background(), []string{"nonsense"}, &stdout, &stderr); code != 2 {
@@ -102,6 +206,27 @@ func TestUnknownSubcommand(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "unknown subcommand") {
 		t.Errorf("stderr %q not diagnostic", stderr.String())
+	}
+}
+
+// TestBadFlagValues covers the parse and validation failure paths: a
+// non-numeric value, an unknown flag, a flag valid only on another
+// experiment, and a domain violation caught by Config.Validate — all
+// exit 2 without running the experiment.
+func TestBadFlagValues(t *testing.T) {
+	for _, args := range [][]string{
+		{"fig1", "-instructions", "many"},
+		{"fig1", "-bogus", "1"},
+		{"fig1", "-seed", "-1"},
+		{"interleave", "-rounds", "5"}, // fig1-only parameter
+		{"fig1", "-maxstride", "-5"},   // rejected by Validate
+		{"all", "-workers", "x"},
+		{"list", "-bogus"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := Run(context.Background(), args, &stdout, &stderr); code != 2 {
+			t.Errorf("repro %v exited %d, want 2 (stderr: %s)", args, code, stderr.String())
+		}
 	}
 }
 
@@ -142,10 +267,65 @@ func TestCancelledContextFailsFast(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	var stdout, stderr bytes.Buffer
-	if code := Run(ctx, append([]string{"fig1"}, tinyFlags()...), &stdout, &stderr); code != 1 {
+	args := append([]string{"fig1"}, "-instructions", "4000", "-maxstride", "160", "-rounds", "5")
+	if code := Run(ctx, args, &stdout, &stderr); code != 1 {
 		t.Fatalf("cancelled run exited %d, want 1", code)
 	}
 	if !strings.Contains(stderr.String(), "context canceled") {
 		t.Errorf("stderr %q does not surface cancellation", stderr.String())
+	}
+}
+
+// failConfig backs the synthetic always-failing experiment below.
+type failConfig struct{ exp.Base }
+
+// TestAllFailureSummary registers a synthetic failing experiment and
+// checks the `repro all` contract: every other experiment still runs,
+// the failure is summarised per experiment on stderr (and recorded in
+// the JSON envelope), and the exit code is non-zero.  The registration
+// is process-wide, so it is undone on cleanup — other tests assert on
+// the clean registry and must pass in any `-shuffle` order.
+func TestAllFailureSummary(t *testing.T) {
+	t.Cleanup(func() { exp.Unregister("zz-fail") })
+	exp.Register(exp.Experiment{
+		Name:    "zz-fail",
+		Summary: "synthetic failure for the repro-all error path",
+		New:     func() exp.Config { return &failConfig{} },
+		Run: func(context.Context, exp.Config) (*exp.Report, error) {
+			return nil, errors.New("boom: injected failure")
+		},
+	})
+	var stdout, stderr bytes.Buffer
+	code := Run(context.Background(), append([]string{"all"}, tinyFlags()...), &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("repro all with a failing experiment exited %d, want 1", code)
+	}
+	for _, want := range []string{"1 of", "experiments failed", "zz-fail", "boom: injected failure"} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Errorf("stderr summary missing %q in:\n%s", want, stderr.String())
+		}
+	}
+	// The other experiments still rendered.
+	if !strings.Contains(stdout.String(), "=== fig1 ===") {
+		t.Error("surviving experiments did not run")
+	}
+
+	// JSON mode records the failure in the envelope and still exits 1.
+	stdout.Reset()
+	stderr.Reset()
+	code = Run(context.Background(), append([]string{"all"}, tinyFlags("-json")...), &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("repro all -json with a failing experiment exited %d, want 1", code)
+	}
+	var env exp.Envelope
+	if err := json.Unmarshal(stdout.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	want := exp.RunError{Experiment: "zz-fail", Error: "boom: injected failure"}
+	if len(env.Errors) != 1 || !reflect.DeepEqual(env.Errors[0], want) {
+		t.Errorf("envelope errors = %+v, want [%+v]", env.Errors, want)
+	}
+	if len(env.Reports) != len(exp.All())-1 {
+		t.Errorf("envelope has %d reports, want %d", len(env.Reports), len(exp.All())-1)
 	}
 }

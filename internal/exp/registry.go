@@ -1,0 +1,131 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Experiment is one self-describing entry of the registry: its identity
+// and summary (shown by `repro list`), a constructor for its typed
+// config pre-filled with defaults (whose flag-tagged fields are the
+// parameter spec), and the single Run entrypoint.
+type Experiment struct {
+	// Name is the registry key and CLI subcommand.
+	Name string
+	// Summary is the one-line description shown by `repro list`.
+	Summary string
+	// New returns a fresh config carrying the experiment's defaults.
+	New func() Config
+	// Run executes the experiment.  The returned report carries tables,
+	// series, notes and the normalized base metadata; the registry's Run
+	// wrapper stamps identity, schema and wall time.
+	Run func(ctx context.Context, cfg Config) (*Report, error)
+}
+
+// Params returns a fresh default config's parameter spec.
+func (e Experiment) Params() []*Param { return ParamsOf(e.New()) }
+
+var registry = struct {
+	sync.Mutex
+	m map[string]Experiment
+}{m: make(map[string]Experiment)}
+
+// Register adds an experiment to the process-wide registry.  It panics
+// on a duplicate or malformed entry — registration happens from init
+// functions, where failing loudly at startup is the correct behaviour.
+func Register(e Experiment) {
+	if e.Name == "" || e.New == nil || e.Run == nil {
+		panic(fmt.Sprintf("exp: incomplete experiment registration %+v", e))
+	}
+	ParamsOf(e.New()) // validate the parameter spec eagerly
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.m[e.Name]; dup {
+		panic(fmt.Sprintf("exp: duplicate experiment %q", e.Name))
+	}
+	registry.m[e.Name] = e
+}
+
+// Unregister removes an experiment from the registry and reports
+// whether it was present.  Production registrations are permanent
+// (init-time); this exists so tests injecting synthetic experiments
+// can restore the registry and stay order-independent.
+func Unregister(name string) bool {
+	registry.Lock()
+	defer registry.Unlock()
+	_, ok := registry.m[name]
+	delete(registry.m, name)
+	return ok
+}
+
+// Get returns the named experiment.
+func Get(name string) (Experiment, bool) {
+	registry.Lock()
+	defer registry.Unlock()
+	e, ok := registry.m[name]
+	return e, ok
+}
+
+// All returns every registered experiment in name order — the iteration
+// order of `repro all`, `repro list` and the golden suite.
+func All() []Experiment {
+	registry.Lock()
+	defer registry.Unlock()
+	out := make([]Experiment, 0, len(registry.m))
+	for _, e := range registry.m {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Run validates cfg, executes the experiment and stamps the report's
+// identity, schema and wall time.  It is the single path every consumer
+// (CLI subcommand, `repro all`, golden tests, services) goes through.
+func Run(ctx context.Context, e Experiment, cfg Config) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: invalid config: %w", e.Name, err)
+	}
+	start := time.Now()
+	rep, err := e.Run(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.Schema = ReportSchema
+	rep.Experiment = e.Name
+	if rep.Summary == "" {
+		rep.Summary = e.Summary
+	}
+	rep.Wall = time.Since(start)
+	return rep, nil
+}
+
+// RunNamed is Run by registry key.
+func RunNamed(ctx context.Context, name string, cfg Config) (*Report, error) {
+	e, ok := Get(name)
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown experiment %q", name)
+	}
+	return Run(ctx, e, cfg)
+}
+
+// Spec is the machine-readable registry entry emitted by
+// `repro list -json`.
+type Spec struct {
+	Name    string   `json:"name"`
+	Summary string   `json:"summary"`
+	Params  []*Param `json:"params"`
+}
+
+// Specs returns the full registry spec in name order.
+func Specs() []Spec {
+	all := All()
+	out := make([]Spec, len(all))
+	for i, e := range all {
+		out[i] = Spec{Name: e.Name, Summary: e.Summary, Params: e.Params()}
+	}
+	return out
+}

@@ -3,10 +3,10 @@ package experiments
 import (
 	"context"
 	"fmt"
-	"strings"
 
 	"repro/internal/cache"
 	"repro/internal/cpu"
+	"repro/internal/exp"
 	"repro/internal/gf2"
 	"repro/internal/index"
 	"repro/internal/runner"
@@ -14,6 +14,19 @@ import (
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
+
+// AblateConfig configures the design-choice ablations.
+type AblateConfig struct {
+	exp.Base
+}
+
+// DefaultAblateConfig returns the standard scale.
+func DefaultAblateConfig() AblateConfig { return AblateConfig{Base: exp.DefaultBase()} }
+
+func (c AblateConfig) normalize() AblateConfig {
+	c.Base.Normalize()
+	return c
+}
 
 // AblateResult collects the design-choice ablations listed in DESIGN.md.
 type AblateResult struct {
@@ -45,12 +58,12 @@ type AblateResult struct {
 
 // badMiss runs the three bad programs' memory traces through a cache
 // built by mk and returns the mean load miss ratio (%).
-func badMiss(ctx context.Context, o Options, mk func() *cache.Cache) (float64, error) {
+func badMiss(ctx context.Context, cfg AblateConfig, mk func() *cache.Cache) (float64, error) {
 	var ratios []float64
 	for _, name := range workload.BadPrograms() {
 		prof, _ := workload.ByName(name)
 		c := mk()
-		err := forEachMemChunk(ctx, prof, o.Seed, o.Instructions, func(recs []trace.Rec) {
+		err := forEachMemChunk(ctx, prof, cfg.Seed, cfg.Instructions, func(recs []trace.Rec) {
 			c.AccessStream(recs)
 		})
 		if err != nil {
@@ -80,18 +93,12 @@ func reduciblePolys(n int) []gf2.Poly {
 	return out
 }
 
-// RunAblate runs every ablation.
-func RunAblate(o Options) AblateResult {
-	res, _ := RunAblateCtx(context.Background(), o)
-	return res
-}
-
 // RunAblateCtx runs every ablation on the parallel engine.  Every
 // variant reduces to a single float64 (a bad-program mean miss ratio or
 // an IPC), so the whole study flattens into one job list decoded
 // positionally by the reducer.
-func RunAblateCtx(ctx context.Context, o Options) (AblateResult, error) {
-	o = o.normalize()
+func RunAblateCtx(ctx context.Context, cfg AblateConfig) (AblateResult, error) {
+	cfg = cfg.normalize()
 	var res AblateResult
 
 	var jobs []runner.JobOf[float64]
@@ -99,7 +106,7 @@ func RunAblateCtx(ctx context.Context, o Options) (AblateResult, error) {
 		jobs = append(jobs, runner.KeyedJob("ablate/"+key, fn))
 	}
 	addBadMiss := func(key string, mk func() *cache.Cache) {
-		add(key, func(c *runner.Ctx) (float64, error) { return badMiss(c, o, mk) })
+		add(key, func(c *runner.Ctx) (float64, error) { return badMiss(c, cfg, mk) })
 	}
 
 	// Irreducible vs reducible modulus; skewed (= irreducible) vs
@@ -135,9 +142,9 @@ func RunAblateCtx(ctx context.Context, o Options) (AblateResult, error) {
 	mshrs := []int{1, 2, 4, 8, 16}
 	for _, n := range mshrs {
 		add(fmt.Sprintf("mshrs=%d", n), func(*runner.Ctx) (float64, error) {
-			cfg := cpu.DefaultConfig(cpu.PaperCache(8<<10, nil))
-			cfg.MSHRs = n
-			r := cpu.New(cfg).Run(limitedSource(swim, o.Seed, o.Instructions), o.Instructions)
+			coreCfg := cpu.DefaultConfig(cpu.PaperCache(8<<10, nil))
+			coreCfg.MSHRs = n
+			r := cpu.New(coreCfg).Run(limitedSource(swim, cfg.Seed, cfg.Instructions), cfg.Instructions)
 			return r.IPC(), nil
 		})
 	}
@@ -153,13 +160,13 @@ func RunAblateCtx(ctx context.Context, o Options) (AblateResult, error) {
 				Size: 64 << 10, BlockSize: 32, Ways: 2,
 				Placement: l2place, WriteBack: true, WriteAllocate: true,
 			}
-			cfg := cpu.DefaultConfig(cpu.PaperCache(8<<10, nil))
-			cfg.L2 = &l2cfg
-			cfg.L2MissPenalty = 60
+			coreCfg := cpu.DefaultConfig(cpu.PaperCache(8<<10, nil))
+			coreCfg.L2 = &l2cfg
+			coreCfg.L2MissPenalty = 60
 			var ipcs []float64
 			for _, name := range workload.BadPrograms() {
 				prof, _ := workload.ByName(name)
-				r := cpu.New(cfg).Run(limitedSource(prof, o.Seed, o.Instructions), o.Instructions)
+				r := cpu.New(coreCfg).Run(limitedSource(prof, cfg.Seed, cfg.Instructions), cfg.Instructions)
 				ipcs = append(ipcs, r.IPC())
 			}
 			return stats.GeoMean(ipcs), nil
@@ -172,16 +179,16 @@ func RunAblateCtx(ctx context.Context, o Options) (AblateResult, error) {
 	apreds := []int{64, 256, 1024, 4096}
 	for _, n := range apreds {
 		add(fmt.Sprintf("apred=%d", n), func(*runner.Ctx) (float64, error) {
-			cfg := cpu.DefaultConfig(cpu.PaperCache(8<<10, ipoly))
-			cfg.XorInCP = true
-			cfg.AddrPred = true
-			cfg.APredEntries = n
-			r := cpu.New(cfg).Run(limitedSource(tom, o.Seed, o.Instructions), o.Instructions)
+			coreCfg := cpu.DefaultConfig(cpu.PaperCache(8<<10, ipoly))
+			coreCfg.XorInCP = true
+			coreCfg.AddrPred = true
+			coreCfg.APredEntries = n
+			r := cpu.New(coreCfg).Run(limitedSource(tom, cfg.Seed, cfg.Instructions), cfg.Instructions)
 			return r.IPC(), nil
 		})
 	}
 
-	vals, err := runner.All(ctx, o.runnerOpts(), jobs)
+	vals, err := runner.All(ctx, cfg.RunnerOpts(), jobs)
 	if err != nil {
 		return res, err
 	}
@@ -214,30 +221,32 @@ func RunAblateCtx(ctx context.Context, o Options) (AblateResult, error) {
 	return res, nil
 }
 
-// Render prints every ablation block.
-func (res AblateResult) Render() string {
-	var b strings.Builder
-	b.WriteString("Design-choice ablations (bad-program mean load miss %, unless noted)\n\n")
-	t := stats.NewTable("ablation", "variant", "value")
-	t.AddRow("modulus polynomial", "irreducible", fmt.Sprintf("%.2f", res.IrreducibleMiss))
-	t.AddRow("modulus polynomial", "reducible", fmt.Sprintf("%.2f", res.ReducibleMiss))
-	t.AddRow("skewing", "per-way P (skewed)", fmt.Sprintf("%.2f", res.SkewedMiss))
-	t.AddRow("skewing", "shared P (unskewed)", fmt.Sprintf("%.2f", res.UnskewedMiss))
+// report converts every ablation block.
+func (res AblateResult) report(cfg AblateConfig) *exp.Report {
+	rep := &exp.Report{}
+	rep.SetMeta(cfg.Base)
+	t := exp.NewTable("ablate",
+		"Design-choice ablations (bad-program mean load miss %, unless noted)",
+		exp.StrCol("ablation"), exp.StrCol("variant"), exp.FloatCol("value", "%.3f"))
+	t.AddRow("modulus polynomial", "irreducible", res.IrreducibleMiss)
+	t.AddRow("modulus polynomial", "reducible", res.ReducibleMiss)
+	t.AddRow("skewing", "per-way P (skewed)", res.SkewedMiss)
+	t.AddRow("skewing", "shared P (unskewed)", res.UnskewedMiss)
 	for i, v := range res.VBits {
-		t.AddRow("hashed address bits", fmt.Sprintf("%d bits", v), fmt.Sprintf("%.2f", res.VBitsMiss[i]))
+		t.AddRow("hashed address bits", fmt.Sprintf("%d bits", v), res.VBitsMiss[i])
 	}
 	for i, n := range res.ReplNames {
-		t.AddRow("replacement", n, fmt.Sprintf("%.2f", res.ReplMiss[i]))
+		t.AddRow("replacement", n, res.ReplMiss[i])
 	}
 	for i, n := range res.MSHRCounts {
-		t.AddRow("MSHR count (swim IPC)", fmt.Sprintf("%d", n), fmt.Sprintf("%.3f", res.MSHRIPC[i]))
+		t.AddRow("MSHR count (swim IPC)", fmt.Sprintf("%d", n), res.MSHRIPC[i])
 	}
 	for i, n := range res.L2Schemes {
-		t.AddRow("finite 64KB L2 index (bad IPC)", n, fmt.Sprintf("%.3f", res.L2IPC[i]))
+		t.AddRow("finite 64KB L2 index (bad IPC)", n, res.L2IPC[i])
 	}
 	for i, n := range res.APredSizes {
-		t.AddRow("addr-pred entries (tomcatv IPC)", fmt.Sprintf("%d", n), fmt.Sprintf("%.3f", res.APredIPC[i]))
+		t.AddRow("addr-pred entries (tomcatv IPC)", fmt.Sprintf("%d", n), res.APredIPC[i])
 	}
-	b.WriteString(t.String())
-	return b.String()
+	rep.AddTable(t)
+	return rep
 }

@@ -2,16 +2,28 @@ package experiments
 
 import (
 	"context"
-	"fmt"
-	"strings"
 
 	"repro/internal/cache"
+	"repro/internal/exp"
 	"repro/internal/gf2"
 	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
+
+// ColAssocConfig configures the §3.1 option-4 probe study.
+type ColAssocConfig struct {
+	exp.Base
+}
+
+// DefaultColAssocConfig returns the standard scale.
+func DefaultColAssocConfig() ColAssocConfig { return ColAssocConfig{Base: exp.DefaultBase()} }
+
+func (c ColAssocConfig) normalize() ColAssocConfig {
+	c.Base.Normalize()
+	return c
+}
 
 // ColAssocResult reproduces the §3.1 option-4 study: a direct-mapped
 // cache with a conventional first probe and polynomial second probe,
@@ -25,16 +37,10 @@ type ColAssocResult struct {
 	NoSwapMissRatio []float64
 }
 
-// RunColAssoc drives the suite through both variants.
-func RunColAssoc(o Options) ColAssocResult {
-	res, _ := RunColAssocCtx(context.Background(), o)
-	return res
-}
-
 // RunColAssocCtx runs the probe study on the parallel engine, one job
 // per benchmark (both variants share the job's single trace replay).
-func RunColAssocCtx(ctx context.Context, o Options) (ColAssocResult, error) {
-	o = o.normalize()
+func RunColAssocCtx(ctx context.Context, cfg ColAssocConfig) (ColAssocResult, error) {
+	cfg = cfg.normalize()
 	var res ColAssocResult
 	p := gf2.Irreducibles(8, 1)[0]
 	type caCell struct {
@@ -48,7 +54,7 @@ func RunColAssocCtx(ctx context.Context, o Options) (ColAssocResult, error) {
 				swap := cache.NewColumnAssociative(8<<10, 32, p, 19)
 				noswap := cache.NewColumnAssociative(8<<10, 32, p, 19)
 				noswap.Swap = false
-				err := forEachMemChunk(c, prof, o.Seed, o.Instructions, func(recs []trace.Rec) {
+				err := forEachMemChunk(c, prof, cfg.Seed, cfg.Instructions, func(recs []trace.Rec) {
 					swap.AccessStream(recs)
 					noswap.AccessStream(recs)
 				})
@@ -63,7 +69,7 @@ func RunColAssocCtx(ctx context.Context, o Options) (ColAssocResult, error) {
 				}, nil
 			})
 	}
-	cells, err := runner.All(ctx, o.runnerOpts(), jobs)
+	cells, err := runner.All(ctx, cfg.RunnerOpts(), jobs)
 	if err != nil {
 		return res, err
 	}
@@ -77,20 +83,22 @@ func RunColAssocCtx(ctx context.Context, o Options) (ColAssocResult, error) {
 	return res, nil
 }
 
-// Render prints per-benchmark probe behaviour.
-func (res ColAssocResult) Render() string {
-	var b strings.Builder
-	b.WriteString("Column-associative polynomial rehash (§3.1 option 4), 8KB direct-mapped\n\n")
-	t := stats.NewTable("bench", "first-probe hit rate", "avg probes", "miss %", "miss % (no swap)")
+// report converts per-benchmark probe behaviour.
+func (res ColAssocResult) report(cfg ColAssocConfig) *exp.Report {
+	rep := &exp.Report{}
+	rep.SetMeta(cfg.Base)
+	t := exp.NewTable("colassoc",
+		"Column-associative polynomial rehash (§3.1 option 4), 8KB direct-mapped",
+		exp.StrCol("bench"),
+		exp.FloatCol("first-probe hit rate", "%.3f"),
+		exp.FloatCol("avg probes", "%.3f"),
+		exp.FloatCol("miss %", ""),
+		exp.FloatCol("miss % (no swap)", ""))
 	for i, n := range res.Bench {
-		t.AddRow(n,
-			fmt.Sprintf("%.3f", res.FirstProbeRate[i]),
-			fmt.Sprintf("%.3f", res.AvgProbes[i]),
-			fmt.Sprintf("%.2f", res.MissRatio[i]),
-			fmt.Sprintf("%.2f", res.NoSwapMissRatio[i]))
+		t.AddRow(n, res.FirstProbeRate[i], res.AvgProbes[i], res.MissRatio[i], res.NoSwapMissRatio[i])
 	}
-	b.WriteString(t.String())
-	fmt.Fprintf(&b, "\nMean first-probe hit rate: %.1f%% (paper reports ~90%%)\n",
+	rep.AddTable(t)
+	rep.Notef("Mean first-probe hit rate: %.1f%% (paper reports ~90%%)",
 		100*stats.Mean(res.FirstProbeRate))
-	return b.String()
+	return rep
 }

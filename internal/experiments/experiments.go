@@ -2,67 +2,23 @@
 // paper's evaluation, plus the supporting studies quoted in the text
 // (hole probability, organization comparison, miss-ratio predictability,
 // column-associative probe rates) and the ablations listed in DESIGN.md.
-// Each driver returns a structured result with a Render method producing
-// the same rows/series the paper reports.
+//
+// Every driver is registered with the process-wide registry in
+// internal/exp (see register.go): it declares a typed config struct
+// embedding exp.Base (instructions/seed/workers) plus its own
+// flag-tagged parameters, runs as RunXxxCtx(ctx, cfg) on the parallel
+// sweep engine, and converts its structured result into the uniform
+// exp.Report model.  The CLI, `repro all` and the golden suite are all
+// generated from that registration — adding an experiment here is the
+// only edit required to ship it everywhere.
 package experiments
 
-import (
-	"repro/internal/index"
-	"repro/internal/runner"
+// Default scale of the stride-sweep experiments: the full 1..4095 sweep
+// with 17 walk rounds per stride (first round is warm-up).
+const (
+	defaultRounds    = 17
+	defaultMaxStride = 4096
 )
-
-// Options controls experiment scale.  Defaults favour fidelity; tests use
-// smaller values.
-type Options struct {
-	// Instructions simulated per benchmark per configuration.
-	Instructions uint64
-	// Seed for workload generation.
-	Seed uint64
-	// Rounds of the Figure 1 vector walk per stride.
-	Fig1Rounds int
-	// MaxStride bounds the Figure 1 stride sweep (exclusive).
-	MaxStride int
-	// Workers bounds the parallel sweep pool; <= 0 means GOMAXPROCS.
-	// Results are bit-identical at every worker count: jobs derive all
-	// randomness from the options seed and their grid coordinates, and
-	// the runner reduces results in job order.
-	Workers int
-}
-
-// runnerOpts maps experiment options onto the sweep engine's options.
-func (o Options) runnerOpts() runner.Options {
-	return runner.Options{Workers: o.Workers, Seed: o.Seed}
-}
-
-// Defaults returns the standard experiment scale: 200k instructions per
-// program per configuration (the paper used 100M — the shape stabilises
-// far earlier on synthetic workloads) and the full 1..4095 stride sweep.
-func Defaults() Options {
-	return Options{
-		Instructions: 200_000,
-		Seed:         1997,
-		Fig1Rounds:   17,
-		MaxStride:    4096,
-	}
-}
-
-// normalize fills zero fields with defaults.
-func (o Options) normalize() Options {
-	d := Defaults()
-	if o.Instructions == 0 {
-		o.Instructions = d.Instructions
-	}
-	if o.Seed == 0 {
-		o.Seed = d.Seed
-	}
-	if o.Fig1Rounds == 0 {
-		o.Fig1Rounds = d.Fig1Rounds
-	}
-	if o.MaxStride == 0 {
-		o.MaxStride = d.MaxStride
-	}
-	return o
-}
 
 // Paper cache geometry shared by every experiment: 32-byte lines, 2-way;
 // 8 KB => 128 sets (7 index bits); 19 address bits feed the hash
@@ -73,14 +29,3 @@ const (
 	setBits8K  = 7
 	setBits16K = 8
 )
-
-// placements returns the four Figure 1 placement functions for an 8 KB
-// 2-way cache.
-func placements() map[index.Scheme]index.Placement {
-	return map[index.Scheme]index.Placement{
-		index.SchemeModulo:  index.MustNew(index.SchemeModulo, setBits8K, 2, hashInBits),
-		index.SchemeXORSk:   index.MustNew(index.SchemeXORSk, setBits8K, 2, hashInBits),
-		index.SchemeIPoly:   index.MustNew(index.SchemeIPoly, setBits8K, 2, hashInBits),
-		index.SchemeIPolySk: index.MustNew(index.SchemeIPolySk, setBits8K, 2, hashInBits),
-	}
-}

@@ -1,35 +1,52 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
+	"repro/internal/exp"
 	"repro/internal/index"
 )
 
-// small returns options scaled for unit tests.
-func small() Options {
-	return Options{Instructions: 40_000, Seed: 7, Fig1Rounds: 9, MaxStride: 512}
+// smallBase returns shared options scaled for unit tests.
+func smallBase() exp.Base {
+	return exp.Base{Instructions: 40_000, Seed: 7}
 }
 
-func TestDefaultsNormalize(t *testing.T) {
-	var o Options
-	n := o.normalize()
-	if n.Instructions == 0 || n.Seed == 0 || n.Fig1Rounds == 0 || n.MaxStride == 0 {
+// runOK executes a typed driver and fails the test on error.
+func runOK[C any, R any](t *testing.T, run func(context.Context, C) (R, error), cfg C) R {
+	t.Helper()
+	res, err := run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestConfigNormalize(t *testing.T) {
+	var c Fig1Config
+	n := c.normalize()
+	if n.Instructions == 0 || n.Seed == 0 || n.Rounds == 0 || n.MaxStride == 0 {
 		t.Errorf("normalize left zero fields: %+v", n)
 	}
 	// Explicit values survive.
-	o = Options{Instructions: 5}
-	if o.normalize().Instructions != 5 {
-		t.Error("normalize clobbered explicit value")
+	c = Fig1Config{Base: exp.Base{Instructions: 5}, Rounds: 3}
+	n = c.normalize()
+	if n.Instructions != 5 || n.Rounds != 3 {
+		t.Error("normalize clobbered explicit values")
+	}
+	// Defaults match the registered spec.
+	d := DefaultFig1Config()
+	if d.Rounds != defaultRounds || d.MaxStride != defaultMaxStride {
+		t.Errorf("defaults: %+v", d)
 	}
 }
 
 func TestFig1ShapeMatchesPaper(t *testing.T) {
 	// Full stride sweep (the claims are about the 1..4095 range).
-	o := small()
-	o.MaxStride = 4096
-	res := RunFig1(o)
+	cfg := Fig1Config{Base: smallBase(), Rounds: 9, MaxStride: 4096}
+	res := runOK(t, RunFig1Ctx, cfg)
 	if len(res.Histograms) != 4 {
 		t.Fatalf("schemes = %d", len(res.Histograms))
 	}
@@ -58,7 +75,7 @@ func TestFig1ShapeMatchesPaper(t *testing.T) {
 			t.Errorf("%s histogram holds %d samples, want %d", s, h.Count(), res.Strides)
 		}
 	}
-	out := res.Render()
+	out := res.report(cfg.normalize()).RenderString()
 	for _, want := range []string{"a2-Hp-Sk", "Pathological"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("render missing %q", want)
@@ -67,7 +84,8 @@ func TestFig1ShapeMatchesPaper(t *testing.T) {
 }
 
 func TestTable2ShapeMatchesPaper(t *testing.T) {
-	res := RunTable2(small())
+	cfg := Table2Config{Base: smallBase()}
+	res := runOK(t, RunTable2Ctx, cfg)
 	if len(res.Rows) != 18 {
 		t.Fatalf("rows = %d", len(res.Rows))
 	}
@@ -112,18 +130,19 @@ func TestTable2ShapeMatchesPaper(t *testing.T) {
 		t.Errorf("good miss moved %.2f points under I-Poly", diff)
 	}
 
-	out := res.Render()
+	out := res.report(cfg.normalize()).RenderString()
 	if !strings.Contains(out, "tomcatv") || !strings.Contains(out, "Combined") {
 		t.Error("table 2 render incomplete")
 	}
-	if !strings.Contains(t3.Render(), "Average-bad") {
+	t3out := t3.report(Table3Config{Base: cfg.Base}.normalize()).RenderString()
+	if !strings.Contains(t3out, "Average-bad") {
 		t.Error("table 3 render incomplete")
 	}
 }
 
 func TestHolesMatchesModel(t *testing.T) {
-	o := small()
-	res := RunHoles(o)
+	cfg := HolesConfig{Base: smallBase()}
+	res := runOK(t, RunHolesCtx, cfg)
 	if len(res.Sweep) == 0 {
 		t.Fatal("empty sweep")
 	}
@@ -152,13 +171,14 @@ func TestHolesMatchesModel(t *testing.T) {
 	if avg := sum / float64(len(res.SuiteRates)); avg > 0.02 {
 		t.Errorf("suite average hole rate %.4f too large", avg)
 	}
-	if !strings.Contains(res.Render(), "model P_H") {
+	if !strings.Contains(res.report(cfg.normalize()).RenderString(), "model P_H") {
 		t.Error("render incomplete")
 	}
 }
 
 func TestOrgsOrdering(t *testing.T) {
-	res := RunOrgs(small())
+	cfg := OrgsConfig{Base: smallBase()}
+	res := runOK(t, RunOrgsCtx, cfg)
 	if len(res.Bench) != 18 {
 		t.Fatalf("benches = %d", len(res.Bench))
 	}
@@ -182,25 +202,27 @@ func TestOrgsOrdering(t *testing.T) {
 	if ipoly > fa*1.35+1 {
 		t.Errorf("I-Poly %.2f not close to fully-associative %.2f", ipoly, fa)
 	}
-	if !strings.Contains(res.Render(), "Headline") {
+	if !strings.Contains(res.report(cfg.normalize()).RenderString(), "Headline") {
 		t.Error("render incomplete")
 	}
 }
 
 func TestStdDevReduction(t *testing.T) {
-	res := RunStdDev(small())
+	cfg := StdDevConfig{Base: smallBase()}
+	res := runOK(t, RunStdDevCtx, cfg)
 	// The paper's predictability claim: the spread collapses.
 	if res.IPolyStdDev >= res.ConvStdDev/2 {
 		t.Errorf("stddev: conv %.2f -> ipoly %.2f; expected >2x reduction",
 			res.ConvStdDev, res.IPolyStdDev)
 	}
-	if !strings.Contains(res.Render(), "stddev") {
+	if !strings.Contains(res.report(cfg.normalize()).RenderString(), "stddev") {
 		t.Error("render incomplete")
 	}
 }
 
 func TestColAssocFirstProbeRate(t *testing.T) {
-	res := RunColAssoc(small())
+	cfg := ColAssocConfig{Base: smallBase()}
+	res := runOK(t, RunColAssocCtx, cfg)
 	var sum float64
 	for _, r := range res.FirstProbeRate {
 		sum += r
@@ -218,15 +240,16 @@ func TestColAssocFirstProbeRate(t *testing.T) {
 	if swap > noswap*1.1 {
 		t.Errorf("column-associative (%.2f) much worse than hash-rehash (%.2f)", swap, noswap)
 	}
-	if !strings.Contains(res.Render(), "first-probe") {
+	if !strings.Contains(res.report(cfg.normalize()).RenderString(), "first-probe") {
 		t.Error("render incomplete")
 	}
 }
 
 func TestAblations(t *testing.T) {
-	o := small()
-	o.Instructions = 25_000
-	res := RunAblate(o)
+	base := smallBase()
+	base.Instructions = 25_000
+	cfg := AblateConfig{Base: base}
+	res := runOK(t, RunAblateCtx, cfg)
 	// Skewed I-Poly should not lose badly to unskewed.
 	if res.SkewedMiss > res.UnskewedMiss*1.2+1 {
 		t.Errorf("skewed %.2f much worse than unskewed %.2f", res.SkewedMiss, res.UnskewedMiss)
@@ -241,7 +264,7 @@ func TestAblations(t *testing.T) {
 	if res.MSHRIPC[3] <= res.MSHRIPC[0] {
 		t.Errorf("8 MSHRs (%.3f) did not beat 1 (%.3f)", res.MSHRIPC[3], res.MSHRIPC[0])
 	}
-	if !strings.Contains(res.Render(), "ablation") {
+	if !strings.Contains(res.report(cfg.normalize()).RenderString(), "ablation") {
 		t.Error("render incomplete")
 	}
 }

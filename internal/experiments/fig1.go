@@ -3,16 +3,51 @@ package experiments
 import (
 	"context"
 	"fmt"
-	"sort"
-	"strings"
 
 	"repro/internal/cache"
+	"repro/internal/exp"
 	"repro/internal/index"
 	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
+
+// Fig1Config configures the Figure 1 stride sweep.
+type Fig1Config struct {
+	exp.Base
+	// Rounds of the vector walk per stride (first round is warm-up).
+	Rounds int `flag:"rounds" help:"vector walk rounds per stride (first is warm-up)"`
+	// MaxStride bounds the stride sweep (exclusive).
+	MaxStride int `flag:"maxstride" help:"stride sweep bound, exclusive"`
+}
+
+// DefaultFig1Config returns the paper scale: the full 1..4095 sweep.
+func DefaultFig1Config() Fig1Config {
+	return Fig1Config{Base: exp.DefaultBase(), Rounds: defaultRounds, MaxStride: defaultMaxStride}
+}
+
+func (c Fig1Config) normalize() Fig1Config {
+	c.Base.Normalize()
+	if c.Rounds == 0 {
+		c.Rounds = defaultRounds
+	}
+	if c.MaxStride == 0 {
+		c.MaxStride = defaultMaxStride
+	}
+	return c
+}
+
+// Validate implements exp.Config.
+func (c *Fig1Config) Validate() error {
+	if c.Rounds < 0 {
+		return fmt.Errorf("rounds must be >= 0, got %d", c.Rounds)
+	}
+	if c.MaxStride < 0 {
+		return fmt.Errorf("maxstride must be >= 0, got %d", c.MaxStride)
+	}
+	return nil
+}
 
 // Fig1Result reproduces Figure 1: the frequency distribution of miss
 // ratios over all strides for the four indexing schemes.
@@ -85,14 +120,14 @@ type fig1Partial struct {
 }
 
 // fig1Jobs decomposes the sweep into scheme × stride-chunk jobs.
-func fig1Jobs(o Options) []runner.JobOf[fig1Partial] {
+func fig1Jobs(cfg Fig1Config) []runner.JobOf[fig1Partial] {
 	var jobs []runner.JobOf[fig1Partial]
 	for _, scheme := range fig1Schemes() {
 		place := fig1Placement(scheme)
-		for lo := 1; lo < o.MaxStride; lo += fig1Chunk {
+		for lo := 1; lo < cfg.MaxStride; lo += fig1Chunk {
 			hi := lo + fig1Chunk
-			if hi > o.MaxStride {
-				hi = o.MaxStride
+			if hi > cfg.MaxStride {
+				hi = cfg.MaxStride
 			}
 			jobs = append(jobs, runner.KeyedJob(
 				fmt.Sprintf("fig1/%s/strides=%d-%d", scheme, lo, hi-1),
@@ -104,7 +139,7 @@ func fig1Jobs(o Options) []runner.JobOf[fig1Partial] {
 							return p, c.Err()
 						}
 						var mr float64
-						mr, recs = fig1Stride(place, uint64(s), o.Fig1Rounds, recs)
+						mr, recs = fig1Stride(place, uint64(s), cfg.Rounds, recs)
 						p.hist.Add(mr)
 						if mr > 0.5 {
 							p.patho++
@@ -117,23 +152,18 @@ func fig1Jobs(o Options) []runner.JobOf[fig1Partial] {
 	return jobs
 }
 
-// RunFig1 sweeps element strides 1..MaxStride-1 of the 64×8-byte vector
-// walk through 8 KB 2-way caches differing only in placement function.
-func RunFig1(o Options) Fig1Result {
-	res, _ := RunFig1Ctx(context.Background(), o)
-	return res
-}
-
-// RunFig1Ctx is RunFig1 with cancellation: the sweep runs on the
-// parallel engine and aborts early when ctx is cancelled.
-func RunFig1Ctx(ctx context.Context, o Options) (Fig1Result, error) {
-	o = o.normalize()
+// RunFig1Ctx sweeps element strides 1..MaxStride-1 of the 64×8-byte
+// vector walk through 8 KB 2-way caches differing only in placement
+// function.  The sweep runs on the parallel engine and aborts early
+// when ctx is cancelled.
+func RunFig1Ctx(ctx context.Context, cfg Fig1Config) (Fig1Result, error) {
+	cfg = cfg.normalize()
 	res := Fig1Result{
 		Histograms:   make(map[index.Scheme]*stats.Histogram),
 		Pathological: make(map[index.Scheme]int),
-		Strides:      o.MaxStride - 1,
+		Strides:      cfg.MaxStride - 1,
 	}
-	parts, err := runner.All(ctx, o.runnerOpts(), fig1Jobs(o))
+	parts, err := runner.All(ctx, cfg.RunnerOpts(), fig1Jobs(cfg))
 	if err != nil {
 		return res, err
 	}
@@ -152,21 +182,21 @@ func RunFig1Ctx(ctx context.Context, o Options) (Fig1Result, error) {
 // golden reference the parallel engine is pinned against (see
 // TestFig1ParallelMatchesSerial) and as the baseline for
 // BenchmarkRunnerParallel.
-func RunFig1Serial(o Options) Fig1Result {
-	o = o.normalize()
+func RunFig1Serial(cfg Fig1Config) Fig1Result {
+	cfg = cfg.normalize()
 	res := Fig1Result{
 		Histograms:   make(map[index.Scheme]*stats.Histogram),
 		Pathological: make(map[index.Scheme]int),
-		Strides:      o.MaxStride - 1,
+		Strides:      cfg.MaxStride - 1,
 	}
 	var recs []trace.Rec
 	for _, scheme := range fig1Schemes() {
 		place := fig1Placement(scheme)
 		h := stats.NewHistogram(10)
 		res.Pathological[scheme] = 0
-		for s := 1; s < o.MaxStride; s++ {
+		for s := 1; s < cfg.MaxStride; s++ {
 			var mr float64
-			mr, recs = fig1Stride(place, uint64(s), o.Fig1Rounds, recs)
+			mr, recs = fig1Stride(place, uint64(s), cfg.Rounds, recs)
 			h.Add(mr)
 			if mr > 0.5 {
 				res.Pathological[scheme]++
@@ -186,24 +216,37 @@ func (r Fig1Result) PathologicalFraction(s index.Scheme) float64 {
 	return float64(r.Pathological[s]) / float64(r.Strides)
 }
 
-// Render prints the four histograms and the pathological-stride summary.
-func (r Fig1Result) Render() string {
-	var b strings.Builder
-	b.WriteString("Figure 1: frequency distribution of miss ratios across strides\n")
-	b.WriteString("(8KB, 2-way, 32B lines; 64-element vector, element strides swept)\n\n")
-	schemes := make([]index.Scheme, 0, len(r.Histograms))
-	for s := range r.Histograms {
-		schemes = append(schemes, s)
+// report converts the result into the uniform report model: one
+// histogram series per scheme plus the pathological-stride table.
+func (r Fig1Result) report(cfg Fig1Config) *exp.Report {
+	rep := &exp.Report{}
+	rep.SetMeta(cfg.Base)
+	for _, s := range fig1Schemes() {
+		h := r.Histograms[s]
+		if h == nil {
+			continue
+		}
+		bins := h.Bins()
+		series := exp.Series{
+			Name: "hist/" + string(s), XLabel: "miss<", YLabel: "strides",
+			X: make([]float64, len(bins)), Y: make([]float64, len(bins)),
+		}
+		for i, c := range bins {
+			series.X[i] = h.UpperEdge(i)
+			series.Y[i] = float64(c)
+		}
+		rep.AddSeries(series)
 	}
-	sort.Slice(schemes, func(i, j int) bool { return schemes[i] < schemes[j] })
-	for _, s := range schemes {
-		b.WriteString(r.Histograms[s].Render(string(s)))
-		b.WriteByte('\n')
+	t := exp.NewTable("pathological", "Pathological strides (miss ratio > 50%)",
+		exp.StrCol("scheme"), exp.IntCol("pathological"), exp.IntCol("strides"),
+		exp.FloatCol("fraction %", "%.2f"))
+	for _, s := range fig1Schemes() {
+		if _, ok := r.Histograms[s]; !ok {
+			continue
+		}
+		t.AddRow(string(s), r.Pathological[s], r.Strides, 100*r.PathologicalFraction(s))
 	}
-	b.WriteString("Pathological strides (miss ratio > 50%):\n")
-	for _, s := range schemes {
-		fmt.Fprintf(&b, "  %-10s %5d / %d  (%.2f%%)\n",
-			s, r.Pathological[s], r.Strides, 100*r.PathologicalFraction(s))
-	}
-	return b.String()
+	rep.AddTable(t)
+	rep.Notef("(8KB, 2-way, 32B lines; 64-element vector, %d element strides swept)", r.Strides)
+	return rep
 }

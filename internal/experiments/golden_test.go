@@ -1,82 +1,117 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
 	"testing"
 
-	"repro/internal/index"
+	"repro/internal/exp"
 )
 
+// goldenReport runs one experiment through the registry path — the same
+// exp.Run every CLI invocation goes through — and returns its report.
+func goldenReport(t *testing.T, name string, cfg exp.Config) *exp.Report {
+	t.Helper()
+	rep, err := exp.RunNamed(context.Background(), name, cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return rep
+}
+
 // goldenValues computes a flat name -> value map of exact experiment
-// outputs at the small() test options.  Every value is either an integer
-// counter or a float64 printed with full round-trip precision, so the
-// comparison below pins the simulation engines bit-for-bit: any change
-// to cache lookup, replacement, hierarchy inclusion or trace replay
-// order shows up as a golden mismatch.
+// outputs at the smallBase() test options, extracted from the uniform
+// Report model.  Every value is either an integer counter or a float64
+// printed with full round-trip precision, so the comparison below pins
+// the simulation engines bit-for-bit THROUGH the registry: any change
+// to cache lookup, replacement, hierarchy inclusion, trace replay order
+// or the result -> report conversion shows up as a golden mismatch.
 func goldenValues(t *testing.T) map[string]string {
 	t.Helper()
-	o := small()
 	vals := make(map[string]string)
 	f := func(name string, v float64) { vals[name] = fmt.Sprintf("%.17g", v) }
 	u := func(name string, v uint64) { vals[name] = fmt.Sprintf("%d", v) }
+	getF := func(rep *exp.Report, key, table, row, col string) {
+		t.Helper()
+		v, ok := rep.Float(table, row, col)
+		if !ok {
+			t.Fatalf("%s: report cell (%s, %s, %s) missing", key, table, row, col)
+		}
+		f(key, v)
+	}
+	getI := func(rep *exp.Report, key, table, row, col string) {
+		t.Helper()
+		v, ok := rep.Int(table, row, col)
+		if !ok {
+			t.Fatalf("%s: report cell (%s, %s, %s) missing", key, table, row, col)
+		}
+		u(key, uint64(v))
+	}
 
-	fig := RunFig1(o)
+	fig := goldenReport(t, "fig1", &Fig1Config{Base: smallBase(), Rounds: 9, MaxStride: 512})
 	for _, s := range fig1Schemes() {
-		u("fig1/patho/"+string(s), uint64(fig.Pathological[s]))
-		u("fig1/hist/"+string(s), uint64(fig.Histograms[s].Count()))
+		getI(fig, "fig1/patho/"+string(s), "pathological", string(s), "pathological")
+		hist, ok := fig.SeriesByName("hist/" + string(s))
+		if !ok {
+			t.Fatalf("fig1: histogram series for %s missing", s)
+		}
+		u("fig1/hist/"+string(s), uint64(hist.Total()))
 	}
 
-	orgs := RunOrgs(o)
-	for i, name := range orgs.Orgs {
-		f("orgs/avg/"+name, orgs.Avg[i])
+	orgs := goldenReport(t, "missratio", &OrgsConfig{Base: smallBase()})
+	for _, name := range orgs.Table("missratio").Columns[1:] {
+		getF(orgs, "orgs/avg/"+name.Name, "missratio", "average", name.Name)
 	}
 
-	sd := RunStdDev(o)
-	f("stddev/conv", sd.ConvStdDev)
-	f("stddev/ipoly", sd.IPolyStdDev)
+	sd := goldenReport(t, "stddev", &StdDevConfig{Base: smallBase()})
+	getF(sd, "stddev/conv", "stddev", "conventional", "stddev")
+	getF(sd, "stddev/ipoly", "stddev", "I-Poly skewed", "stddev")
 
-	sw := RunSweep(o)
-	for si, size := range sw.SizesKB {
-		for wi, ways := range sw.Ways {
-			for ki, scheme := range sw.Schemes {
-				f(fmt.Sprintf("sweep/%dKB/%dw/%s", size, ways, scheme), sw.Miss[si][wi][ki])
+	sw := goldenReport(t, "sweep", &SweepConfig{Base: smallBase()})
+	for _, size := range []int{4, 8, 16, 32} {
+		for _, ways := range []int{1, 2, 4} {
+			for _, scheme := range []string{"a2", "a2-Hp-Sk"} {
+				getF(sw, fmt.Sprintf("sweep/%dKB/%dw/%s", size, ways, scheme),
+					"sweep", fmt.Sprintf("%dKB", size), fmt.Sprintf("%dw %s", ways, scheme))
 			}
 		}
 	}
 
-	holes := RunHoles(o)
-	for _, row := range holes.Sweep {
-		u(fmt.Sprintf("holes/sweep/%dKB/l2misses", row.L2KB), row.L2Misses)
-		u(fmt.Sprintf("holes/sweep/%dKB/holes", row.L2KB), row.Holes)
+	holes := goldenReport(t, "holes", &HolesConfig{Base: smallBase()})
+	for _, l2KB := range []int{32, 64, 128, 256, 512, 1024} {
+		row := fmt.Sprintf("%dKB", l2KB)
+		getI(holes, fmt.Sprintf("holes/sweep/%dKB/l2misses", l2KB), "sweep", row, "L2 misses")
+		getI(holes, fmt.Sprintf("holes/sweep/%dKB/holes", l2KB), "sweep", row, "holes")
 	}
-	for i, name := range holes.SuiteNames {
-		f("holes/suite/"+name, holes.SuiteRates[i])
-	}
-
-	tc := RunThreeC(o)
-	for i, row := range tc.Conventional {
-		f("threec/conv/"+row.Name, row.Conflict)
-		f("threec/ipoly/"+tc.IPoly[i].Name, tc.IPoly[i].Conflict)
+	for _, name := range holes.Table("suite").Columns[0].Strings {
+		getF(holes, "holes/suite/"+name, "suite", name, "holes per L2 miss")
 	}
 
-	t2 := RunTable2(o)
-	f("table2/combined/c8ipc", t2.Combined.C8IPC)
-	f("table2/combined/ipolyipc", t2.Combined.IPolyIPC)
-	f("table2/combined/c8miss", t2.Combined.C8Miss)
-	f("table2/combined/ipolymiss", t2.Combined.IPolyMiss)
+	tc := goldenReport(t, "threec", &ThreeCConfig{Base: smallBase()})
+	for _, name := range tc.Table("threec").Columns[0].Strings {
+		getF(tc, "threec/conv/"+name, "threec", name, "conv conflict")
+		getF(tc, "threec/ipoly/"+name, "threec", name, "Hp conflict")
+	}
 
-	ca := RunColAssoc(o)
-	for i, name := range ca.Bench {
-		f("colassoc/firstprobe/"+name, ca.FirstProbeRate[i])
+	t2 := goldenReport(t, "table2", &Table2Config{Base: smallBase()})
+	getF(t2, "table2/combined/c8ipc", "table2", "Combined", "8K IPC")
+	getF(t2, "table2/combined/ipolyipc", "table2", "Combined", "Hp IPC")
+	getF(t2, "table2/combined/c8miss", "table2", "Combined", "8K miss")
+	getF(t2, "table2/combined/ipolymiss", "table2", "Combined", "Hp miss")
+
+	ca := goldenReport(t, "colassoc", &ColAssocConfig{Base: smallBase()})
+	for _, name := range ca.Table("colassoc").Columns[0].Strings {
+		getF(ca, "colassoc/firstprobe/"+name, "colassoc", name, "first-probe hit rate")
 	}
 	return vals
 }
 
 // TestGoldenMissRatios pins the exact experiment outputs of the access
-// engine.  Run with GOLDEN_PRINT=1 to emit the table for regeneration
-// after an intentional behaviour change.
+// engine through the registry's Run(ctx, Config) -> Report path.  Run
+// with GOLDEN_PRINT=1 to emit the table for regeneration after an
+// intentional behaviour change.
 func TestGoldenMissRatios(t *testing.T) {
 	if testing.Short() {
 		t.Skip("golden pin is slow")
@@ -107,6 +142,9 @@ func TestGoldenMissRatios(t *testing.T) {
 	}
 }
 
+// goldenTable pins 130 exact values.  It predates the registry redesign
+// (the values were first pinned against the pre-registry RunXxx
+// drivers), so a clean pass here proves the redesign output-preserving.
 var goldenTable = map[string]string{
 	"colassoc/firstprobe/applu":    "0.96302164200386575",
 	"colassoc/firstprobe/apsi":     "0.99971402243335139",
@@ -239,5 +277,3 @@ var goldenTable = map[string]string{
 	"threec/ipoly/vortex":          "0.42376059401485039",
 	"threec/ipoly/wave5":           "5.7882154408662636",
 }
-
-var _ = index.SchemeModulo

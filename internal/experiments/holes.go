@@ -3,9 +3,9 @@ package experiments
 import (
 	"context"
 	"fmt"
-	"strings"
 
 	"repro/internal/cache"
+	"repro/internal/exp"
 	"repro/internal/hierarchy"
 	"repro/internal/index"
 	"repro/internal/rng"
@@ -14,6 +14,19 @@ import (
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
+
+// HolesConfig configures the §3.3 inclusion-hole study.
+type HolesConfig struct {
+	exp.Base
+}
+
+// DefaultHolesConfig returns the standard scale.
+func DefaultHolesConfig() HolesConfig { return HolesConfig{Base: exp.DefaultBase()} }
+
+func (c HolesConfig) normalize() HolesConfig {
+	c.Base.Normalize()
+	return c
+}
 
 // HolesRow compares the analytical hole probability (eq. ix) with the
 // simulated hole rate for one L2 size.
@@ -40,17 +53,11 @@ type HolesResult struct {
 	SuiteHoleMissShare []float64
 }
 
-// RunHoles runs both parts of the §3.3 study.
-func RunHoles(o Options) HolesResult {
-	res, _ := RunHolesCtx(context.Background(), o)
-	return res
-}
-
-// RunHolesCtx runs the hole study on the parallel engine: one job per
-// L2 size in the model-validation sweep, one job per benchmark in the
-// suite measurement.
-func RunHolesCtx(ctx context.Context, o Options) (HolesResult, error) {
-	o = o.normalize()
+// RunHolesCtx runs both parts of the §3.3 study on the parallel engine:
+// one job per L2 size in the model-validation sweep, one job per
+// benchmark in the suite measurement.
+func RunHolesCtx(ctx context.Context, cfg HolesConfig) (HolesResult, error) {
+	cfg = cfg.normalize()
 	var res HolesResult
 
 	// Part 1: direct-mapped L1/L2 with pseudo-random indices at both
@@ -69,7 +76,7 @@ func RunHolesCtx(ctx context.Context, o Options) (HolesResult, error) {
 				for v := l2KB << 10 / 32; v > 1; v >>= 1 {
 					m2++
 				}
-				cfg := hierarchy.Config{
+				hcfg := hierarchy.Config{
 					L1: cache.Config{
 						Size: l1KB << 10, BlockSize: 32, Ways: 1,
 						Placement:     index.NewIPolyDefault(1, m1, hashInBits),
@@ -80,11 +87,11 @@ func RunHolesCtx(ctx context.Context, o Options) (HolesResult, error) {
 						Placement: index.NewIPolyDefault(1, m2, m2+8),
 						WriteBack: true, WriteAllocate: true,
 					},
-					ScrambleSeed: o.Seed,
+					ScrambleSeed: cfg.Seed,
 				}
-				h := hierarchy.New(cfg)
-				r := rng.New(o.Seed)
-				n := 2 * o.Instructions
+				h := hierarchy.New(hcfg)
+				r := rng.New(cfg.Seed)
+				n := 2 * cfg.Instructions
 				for i := uint64(0); i < n; i++ {
 					if i&0xFFFF == 0 && c.Err() != nil {
 						return HolesRow{}, c.Err()
@@ -113,7 +120,7 @@ func RunHolesCtx(ctx context.Context, o Options) (HolesResult, error) {
 		jobs = append(jobs, runner.Job{
 			Key: "holes/suite/" + prof.Name,
 			Run: func(c *runner.Ctx) (any, error) {
-				cfg := hierarchy.Config{
+				hcfg := hierarchy.Config{
 					L1: cache.Config{
 						Size: 8 << 10, BlockSize: 32, Ways: 2,
 						Placement:     index.MustNew(index.SchemeIPolySk, setBits8K, 2, hashInBits),
@@ -123,10 +130,10 @@ func RunHolesCtx(ctx context.Context, o Options) (HolesResult, error) {
 						Size: 1 << 20, BlockSize: 32, Ways: 2,
 						WriteBack: true, WriteAllocate: true,
 					},
-					ScrambleSeed: o.Seed,
+					ScrambleSeed: cfg.Seed,
 				}
-				h := hierarchy.New(cfg)
-				err := forEachMemChunk(c, prof, o.Seed, o.Instructions, func(recs []trace.Rec) {
+				h := hierarchy.New(hcfg)
+				err := forEachMemChunk(c, prof, cfg.Seed, cfg.Instructions, func(recs []trace.Rec) {
 					for i := range recs {
 						h.Access(recs[i].Addr, recs[i].Op == trace.OpStore)
 					}
@@ -143,7 +150,7 @@ func RunHolesCtx(ctx context.Context, o Options) (HolesResult, error) {
 			}})
 	}
 
-	results, err := runner.Collect(ctx, o.runnerOpts(), jobs)
+	results, err := runner.Collect(ctx, cfg.RunnerOpts(), jobs)
 	if err != nil {
 		return res, err
 	}
@@ -159,28 +166,33 @@ func RunHolesCtx(ctx context.Context, o Options) (HolesResult, error) {
 	return res, nil
 }
 
-// Render prints both parts.
-func (res HolesResult) Render() string {
-	var b strings.Builder
-	b.WriteString("Hole probability (§3.3): model P_H = (2^m1 - 1)/2^m2 vs simulation\n")
-	b.WriteString("(direct-mapped pseudo-random L1 8KB / L2 swept, random traffic)\n\n")
-	t := stats.NewTable("L2", "ratio", "model P_H", "measured", "L2 misses", "holes")
+// report converts both parts.
+func (res HolesResult) report(cfg HolesConfig) *exp.Report {
+	rep := &exp.Report{}
+	rep.SetMeta(cfg.Base)
+	t := exp.NewTable("sweep",
+		"Hole probability (§3.3): model P_H = (2^m1 - 1)/2^m2 vs simulation\n(direct-mapped pseudo-random L1 8KB / L2 swept, random traffic)",
+		exp.StrCol("L2"), exp.IntCol("ratio"),
+		exp.FloatCol("model P_H", "%.4f"), exp.FloatCol("measured", "%.4f"),
+		exp.IntCol("L2 misses"), exp.IntCol("holes"))
 	for _, r := range res.Sweep {
-		t.AddRow(fmt.Sprintf("%dKB", r.L2KB), fmt.Sprintf("%dx", r.Ratio),
-			fmt.Sprintf("%.4f", r.ModelPH), fmt.Sprintf("%.4f", r.Measured),
-			fmt.Sprintf("%d", r.L2Misses), fmt.Sprintf("%d", r.Holes))
+		t.AddRow(fmt.Sprintf("%dKB", r.L2KB), r.Ratio, r.ModelPH, r.Measured, r.L2Misses, r.Holes)
 	}
-	b.WriteString(t.String())
-	b.WriteString("\nBenchmark suite, 8KB 2-way skewed I-Poly L1 / 1MB 2-way conventional L2:\n\n")
-	t2 := stats.NewTable("bench", "holes per L2 miss", "hole share of L1 misses")
+	rep.AddTable(t)
+	// Rates are stored as raw fractions (not percentages) so the JSON
+	// envelope and the golden pins carry the driver's exact values.
+	suite := exp.NewTable("suite",
+		"Benchmark suite, 8KB 2-way skewed I-Poly L1 / 1MB 2-way conventional L2",
+		exp.StrCol("bench"),
+		exp.FloatCol("holes per L2 miss", "%.6f"),
+		exp.FloatCol("hole share of L1 misses", "%.6f"))
 	var rates []float64
 	for i, n := range res.SuiteNames {
-		t2.AddRow(n, fmt.Sprintf("%.4f%%", 100*res.SuiteRates[i]),
-			fmt.Sprintf("%.4f%%", 100*res.SuiteHoleMissShare[i]))
+		suite.AddRow(n, res.SuiteRates[i], res.SuiteHoleMissShare[i])
 		rates = append(rates, res.SuiteRates[i])
 	}
-	b.WriteString(t2.String())
-	fmt.Fprintf(&b, "\nSuite average hole rate: %.4f%% (paper: avg < 0.1%%, max 1.2%%); max: %.4f%%\n",
+	rep.AddTable(suite)
+	rep.Notef("Suite average hole rate: %.4f%% (paper: avg < 0.1%%, max 1.2%%); max: %.4f%%",
 		100*stats.Mean(rates), 100*stats.Max(rates))
-	return b.String()
+	return rep
 }

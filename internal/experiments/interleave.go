@@ -3,13 +3,41 @@ package experiments
 import (
 	"context"
 	"fmt"
-	"strings"
 
 	"repro/internal/banks"
+	"repro/internal/exp"
 	"repro/internal/gf2"
 	"repro/internal/runner"
 	"repro/internal/stats"
 )
+
+// InterleaveConfig configures the interleaved-memory lineage sweep.
+type InterleaveConfig struct {
+	exp.Base
+	// MaxStride bounds the stride sweep (exclusive).
+	MaxStride int `flag:"maxstride" help:"stride sweep bound, exclusive"`
+}
+
+// DefaultInterleaveConfig returns the full stride sweep.
+func DefaultInterleaveConfig() InterleaveConfig {
+	return InterleaveConfig{Base: exp.DefaultBase(), MaxStride: defaultMaxStride}
+}
+
+func (c InterleaveConfig) normalize() InterleaveConfig {
+	c.Base.Normalize()
+	if c.MaxStride == 0 {
+		c.MaxStride = defaultMaxStride
+	}
+	return c
+}
+
+// Validate implements exp.Config.
+func (c *InterleaveConfig) Validate() error {
+	if c.MaxStride < 0 {
+		return fmt.Errorf("maxstride must be >= 0, got %d", c.MaxStride)
+	}
+	return nil
+}
 
 // InterleaveResult reproduces the interleaved-memory background of §2.1:
 // the bank-selection schemes the cache index functions descend from
@@ -26,17 +54,10 @@ type InterleaveResult struct {
 	Strides  int
 }
 
-// RunInterleave sweeps strides 1..MaxStride-1 (element strides over
-// 8-byte words).
-func RunInterleave(o Options) InterleaveResult {
-	res, _ := RunInterleaveCtx(context.Background(), o)
-	return res
-}
-
-// RunInterleaveCtx runs the bank-selector sweep on the parallel engine,
-// one job per selector.
-func RunInterleaveCtx(ctx context.Context, o Options) (InterleaveResult, error) {
-	o = o.normalize()
+// RunInterleaveCtx sweeps strides 1..MaxStride-1 (element strides over
+// 8-byte words) on the parallel engine, one job per selector.
+func RunInterleaveCtx(ctx context.Context, cfg InterleaveConfig) (InterleaveResult, error) {
+	cfg = cfg.normalize()
 	type mk struct {
 		name string
 		sel  func() banks.Selector
@@ -52,14 +73,14 @@ func RunInterleaveCtx(ctx context.Context, o Options) (InterleaveResult, error) 
 		mean, worst float64
 		degraded    int
 	}
-	res := InterleaveResult{Strides: o.MaxStride - 1}
+	res := InterleaveResult{Strides: cfg.MaxStride - 1}
 	jobs := make([]runner.JobOf[bankCell], len(selectors))
 	for i, s := range selectors {
 		jobs[i] = runner.KeyedJob("interleave/"+s.name,
 			func(c *runner.Ctx) (bankCell, error) {
 				var bws []float64
 				degraded := 0
-				for stride := uint64(1); stride < uint64(o.MaxStride); stride++ {
+				for stride := uint64(1); stride < uint64(cfg.MaxStride); stride++ {
 					if stride&0xFF == 0 && c.Err() != nil {
 						return bankCell{}, c.Err()
 					}
@@ -76,7 +97,7 @@ func RunInterleaveCtx(ctx context.Context, o Options) (InterleaveResult, error) 
 				return bankCell{mean: stats.Mean(bws), worst: stats.Min(bws), degraded: degraded}, nil
 			})
 	}
-	cells, err := runner.All(ctx, o.runnerOpts(), jobs)
+	cells, err := runner.All(ctx, cfg.RunnerOpts(), jobs)
 	if err != nil {
 		return res, err
 	}
@@ -89,21 +110,20 @@ func RunInterleaveCtx(ctx context.Context, o Options) (InterleaveResult, error) 
 	return res, nil
 }
 
-// Render prints the comparison.
-func (res InterleaveResult) Render() string {
-	var b strings.Builder
-	b.WriteString("Interleaved-memory lineage (§2.1): 16 banks, 4-cycle busy time,\n")
-	fmt.Fprintf(&b, "bandwidth (words/cycle) over %d strides\n\n", res.Strides)
-	t := stats.NewTable("selector", "mean BW", "worst BW", "degraded strides")
+// report converts the comparison.
+func (res InterleaveResult) report(cfg InterleaveConfig) *exp.Report {
+	rep := &exp.Report{}
+	rep.SetMeta(cfg.Base)
+	t := exp.NewTable("interleave",
+		fmt.Sprintf("Interleaved-memory lineage (§2.1): 16 banks, 4-cycle busy time,\nbandwidth (words/cycle) over %d strides", res.Strides),
+		exp.StrCol("selector"), exp.FloatCol("mean BW", "%.3f"), exp.FloatCol("worst BW", "%.3f"),
+		exp.IntCol("degraded"), exp.IntCol("strides"))
 	for i, s := range res.Schemes {
-		t.AddRow(s,
-			fmt.Sprintf("%.3f", res.MeanBW[i]),
-			fmt.Sprintf("%.3f", res.WorstBW[i]),
-			fmt.Sprintf("%d/%d", res.Degraded[i], res.Strides))
+		t.AddRow(s, res.MeanBW[i], res.WorstBW[i], res.Degraded[i], res.Strides)
 	}
-	b.WriteString(t.String())
-	b.WriteString("\nThe polynomial selector inherits the Cydra-5 stride insensitivity the\n")
-	b.WriteString("paper imports into cache indexing; modulo degrades on power-of-two\n")
-	b.WriteString("strides, prime on multiples of its modulus.\n")
-	return b.String()
+	rep.AddTable(t)
+	rep.Notef("The polynomial selector inherits the Cydra-5 stride insensitivity the\n" +
+		"paper imports into cache indexing; modulo degrades on power-of-two\n" +
+		"strides, prime on multiples of its modulus.")
+	return rep
 }

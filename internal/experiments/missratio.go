@@ -2,10 +2,9 @@ package experiments
 
 import (
 	"context"
-	"fmt"
-	"strings"
 
 	"repro/internal/cache"
+	"repro/internal/exp"
 	"repro/internal/gf2"
 	"repro/internal/index"
 	"repro/internal/runner"
@@ -13,6 +12,19 @@ import (
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
+
+// OrgsConfig configures the §2.1 cache-organization comparison.
+type OrgsConfig struct {
+	exp.Base
+}
+
+// DefaultOrgsConfig returns the standard scale.
+func DefaultOrgsConfig() OrgsConfig { return OrgsConfig{Base: exp.DefaultBase()} }
+
+func (c OrgsConfig) normalize() OrgsConfig {
+	c.Base.Normalize()
+	return c
+}
 
 // OrgResult compares cache organizations on the benchmark suite's memory
 // traces, reproducing the §2.1 comparison quoted from [10]: an 8 KB
@@ -79,17 +91,11 @@ func newOrgs() (names []string, make8K func() []orgRunner) {
 	return names, make8K
 }
 
-// RunOrgs drives every benchmark's memory trace through each structure.
-func RunOrgs(o Options) OrgResult {
-	res, _ := RunOrgsCtx(context.Background(), o)
-	return res
-}
-
 // RunOrgsCtx runs the comparison on the parallel engine, one job per
 // benchmark (each job replays its trace through all organizations at
 // once, preserving the serial driver's single-pass structure).
-func RunOrgsCtx(ctx context.Context, o Options) (OrgResult, error) {
-	o = o.normalize()
+func RunOrgsCtx(ctx context.Context, cfg OrgsConfig) (OrgResult, error) {
+	cfg = cfg.normalize()
 	names, mk := newOrgs()
 	res := OrgResult{Orgs: names}
 	suite := workload.Suite()
@@ -103,7 +109,7 @@ func RunOrgsCtx(ctx context.Context, o Options) (OrgResult, error) {
 				// the old record-interleaved pass, without its dispatch
 				// overhead and without materializing the whole trace.
 				orgs := mk()
-				err := forEachMemChunk(c, prof, o.Seed, o.Instructions,
+				err := forEachMemChunk(c, prof, cfg.Seed, cfg.Instructions,
 					func(recs []trace.Rec) {
 						for _, org := range orgs {
 							org.replay(recs)
@@ -119,7 +125,7 @@ func RunOrgsCtx(ctx context.Context, o Options) (OrgResult, error) {
 				return row, nil
 			})
 	}
-	rowsByBench, err := runner.All(ctx, o.runnerOpts(), jobs)
+	rowsByBench, err := runner.All(ctx, cfg.RunnerOpts(), jobs)
 	if err != nil {
 		return res, err
 	}
@@ -137,17 +143,30 @@ func RunOrgsCtx(ctx context.Context, o Options) (OrgResult, error) {
 	return res, nil
 }
 
-// Render prints the comparison matrix.
-func (res OrgResult) Render() string {
-	var b strings.Builder
-	b.WriteString("Cache organization comparison (miss ratio %, 8KB, 32B lines)\n")
-	b.WriteString("Reproduces the §2.1 claim: I-Poly ≈ fully-associative ≪ conventional.\n\n")
-	t := stats.NewTable(append([]string{"bench"}, res.Orgs...)...)
-	for i, bench := range res.Bench {
-		t.AddRowValues(bench, res.PerBench[i]...)
+// report converts the comparison matrix.
+func (res OrgResult) report(cfg OrgsConfig) *exp.Report {
+	rep := &exp.Report{}
+	rep.SetMeta(cfg.Base)
+	cols := []exp.Column{exp.StrCol("bench")}
+	for _, o := range res.Orgs {
+		cols = append(cols, exp.FloatCol(o, ""))
 	}
-	t.AddRowValues("average", res.Avg...)
-	b.WriteString(t.String())
+	t := exp.NewTable("missratio",
+		"Cache organization comparison (miss ratio %, 8KB, 32B lines)\nReproduces the §2.1 claim: I-Poly ≈ fully-associative ≪ conventional.",
+		cols...)
+	for i, bench := range res.Bench {
+		cells := []any{bench}
+		for _, v := range res.PerBench[i] {
+			cells = append(cells, v)
+		}
+		t.AddRow(cells...)
+	}
+	avgCells := []any{"average"}
+	for _, v := range res.Avg {
+		avgCells = append(avgCells, v)
+	}
+	t.AddRow(avgCells...)
+	rep.AddTable(t)
 	// The headline triple.
 	idx := func(name string) int {
 		for i, n := range res.Orgs {
@@ -157,10 +176,23 @@ func (res OrgResult) Render() string {
 		}
 		return -1
 	}
-	fmt.Fprintf(&b, "\nHeadline: conventional 2-way %.2f%%  vs  I-Poly %.2f%%  vs  fully-assoc %.2f%%\n",
+	rep.Notef("Headline: conventional 2-way %.2f%%  vs  I-Poly %.2f%%  vs  fully-assoc %.2f%%",
 		res.Avg[idx("2-way")], res.Avg[idx("2-way I-Poly-Sk")], res.Avg[idx("fully-assoc")])
-	fmt.Fprintf(&b, "(paper quotes 13.84%% / 7.14%% / 6.80%% on Spec95)\n")
-	return b.String()
+	rep.Notef("(paper quotes 13.84%% / 7.14%% / 6.80%% on Spec95)")
+	return rep
+}
+
+// StdDevConfig configures the §5 predictability study.
+type StdDevConfig struct {
+	exp.Base
+}
+
+// DefaultStdDevConfig returns the standard scale.
+func DefaultStdDevConfig() StdDevConfig { return StdDevConfig{Base: exp.DefaultBase()} }
+
+func (c StdDevConfig) normalize() StdDevConfig {
+	c.Base.Normalize()
+	return c
 }
 
 // StdDevResult reproduces the §5 predictability claim: I-Poly reduces
@@ -173,17 +205,11 @@ type StdDevResult struct {
 	Bench                     []string
 }
 
-// RunStdDev measures per-benchmark 8 KB 2-way miss ratios under both
-// indexings and summarises their spread.
-func RunStdDev(o Options) StdDevResult {
-	res, _ := RunStdDevCtx(context.Background(), o)
-	return res
-}
-
-// RunStdDevCtx runs the spread study on the parallel engine, one job
-// per benchmark.
-func RunStdDevCtx(ctx context.Context, o Options) (StdDevResult, error) {
-	o = o.normalize()
+// RunStdDevCtx measures per-benchmark 8 KB 2-way miss ratios under both
+// indexings on the parallel engine, one job per benchmark, and
+// summarises their spread.
+func RunStdDevCtx(ctx context.Context, cfg StdDevConfig) (StdDevResult, error) {
+	cfg = cfg.normalize()
 	var res StdDevResult
 	suite := workload.Suite()
 	type pair struct{ conv, ipoly float64 }
@@ -197,7 +223,7 @@ func RunStdDevCtx(ctx context.Context, o Options) (StdDevResult, error) {
 					Placement:     index.MustNew(index.SchemeIPolySk, setBits8K, 2, hashInBits),
 					WriteAllocate: false,
 				})
-				err := forEachMemChunk(c, prof, o.Seed, o.Instructions,
+				err := forEachMemChunk(c, prof, cfg.Seed, cfg.Instructions,
 					func(recs []trace.Rec) {
 						conv.AccessStream(recs)
 						ip.AccessStream(recs)
@@ -211,7 +237,7 @@ func RunStdDevCtx(ctx context.Context, o Options) (StdDevResult, error) {
 				}, nil
 			})
 	}
-	pairs, err := runner.All(ctx, o.runnerOpts(), jobs)
+	pairs, err := runner.All(ctx, cfg.RunnerOpts(), jobs)
 	if err != nil {
 		return res, err
 	}
@@ -227,14 +253,22 @@ func RunStdDevCtx(ctx context.Context, o Options) (StdDevResult, error) {
 	return res, nil
 }
 
-// Render prints the spread summary.
-func (res StdDevResult) Render() string {
-	var b strings.Builder
-	b.WriteString("Miss-ratio predictability (§5): spread across the suite, 8KB 2-way\n\n")
-	t := stats.NewTable("indexing", "mean miss %", "stddev")
-	t.AddRowValues("conventional", res.ConvMean, res.ConvStdDev)
-	t.AddRowValues("I-Poly skewed", res.IPolyMean, res.IPolyStdDev)
-	b.WriteString(t.String())
-	fmt.Fprintf(&b, "\n(paper: stddev 18.49 -> 5.16)\n")
-	return b.String()
+// report converts the spread summary.
+func (res StdDevResult) report(cfg StdDevConfig) *exp.Report {
+	rep := &exp.Report{}
+	rep.SetMeta(cfg.Base)
+	t := exp.NewTable("stddev",
+		"Miss-ratio predictability (§5): spread across the suite, 8KB 2-way",
+		exp.StrCol("indexing"), exp.FloatCol("mean miss %", ""), exp.FloatCol("stddev", ""))
+	t.AddRow("conventional", res.ConvMean, res.ConvStdDev)
+	t.AddRow("I-Poly skewed", res.IPolyMean, res.IPolyStdDev)
+	rep.AddTable(t)
+	perBench := exp.NewTable("per-bench", "Per-benchmark load miss ratios (%)",
+		exp.StrCol("bench"), exp.FloatCol("conventional", ""), exp.FloatCol("I-Poly skewed", ""))
+	for i, b := range res.Bench {
+		perBench.AddRow(b, res.ConvByBench[i], res.IPolyByBench[i])
+	}
+	rep.AddTable(perBench)
+	rep.Notef("(paper: stddev 18.49 -> 5.16)")
+	return rep
 }

@@ -2,16 +2,28 @@ package experiments
 
 import (
 	"context"
-	"fmt"
-	"strings"
 
 	"repro/internal/cpu"
+	"repro/internal/exp"
 	"repro/internal/index"
 	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
+
+// Options31Config configures the §3.1 implementation-option study.
+type Options31Config struct {
+	exp.Base
+}
+
+// DefaultOptions31Config returns the standard scale.
+func DefaultOptions31Config() Options31Config { return Options31Config{Base: exp.DefaultBase()} }
+
+func (c Options31Config) normalize() Options31Config {
+	c.Base.Normalize()
+	return c
+}
 
 // Options31Result compares the four §3.1 routes to I-Poly indexing under
 // minimum-page-size constraints:
@@ -34,16 +46,10 @@ type Options31Result struct {
 	Option4Miss, DirectMappedMiss float64
 }
 
-// RunOptions31 evaluates the options on the high-conflict programs.
-func RunOptions31(o Options) Options31Result {
-	res, _ := RunOptions31Ctx(context.Background(), o)
-	return res
-}
-
 // RunOptions31Ctx runs the §3.1 option study on the parallel engine,
 // one job per (option, program) grid point.
-func RunOptions31Ctx(ctx context.Context, o Options) (Options31Result, error) {
-	o = o.normalize()
+func RunOptions31Ctx(ctx context.Context, cfg Options31Config) (Options31Result, error) {
+	cfg = cfg.normalize()
 	var res Options31Result
 
 	ipoly := index.MustNew(index.SchemeIPolySk, setBits8K, 2, hashInBits)
@@ -54,12 +60,12 @@ func RunOptions31Ctx(ctx context.Context, o Options) (Options31Result, error) {
 	// float64, sliced positionally per option below.  The grid-2
 	// column-associative jobs ride on the same pool run, so workers never
 	// idle between the two grids.
-	ipcJob := func(opt string, name string, cfg cpu.Config) runner.Job {
+	ipcJob := func(opt string, name string, coreCfg cpu.Config) runner.Job {
 		prof, _ := workload.ByName(name)
 		return runner.Job{
 			Key: "options31/" + opt + "/" + name,
 			Run: func(*runner.Ctx) (any, error) {
-				r := cpu.New(cfg).Run(limitedSource(prof, o.Seed, o.Instructions), o.Instructions)
+				r := cpu.New(coreCfg).Run(limitedSource(prof, cfg.Seed, cfg.Instructions), cfg.Instructions)
 				return r.IPC(), nil
 			}}
 	}
@@ -78,7 +84,7 @@ func RunOptions31Ctx(ctx context.Context, o Options) (Options31Result, error) {
 				} else {
 					a.SetSegment("data", 4<<10)
 				}
-				err := forEachMemChunk(c, prof, o.Seed, o.Instructions, func(recs []trace.Rec) {
+				err := forEachMemChunk(c, prof, cfg.Seed, cfg.Instructions, func(recs []trace.Rec) {
 					for i := range recs {
 						a.Access(recs[i].Addr, recs[i].Op == trace.OpStore)
 					}
@@ -120,7 +126,7 @@ func RunOptions31Ctx(ctx context.Context, o Options) (Options31Result, error) {
 			Run: func(c *runner.Ctx) (any, error) {
 				ca := newColAssocForExperiment()
 				plain := newDMForExperiment()
-				err := forEachMemChunk(c, prof, o.Seed, o.Instructions, func(recs []trace.Rec) {
+				err := forEachMemChunk(c, prof, cfg.Seed, cfg.Instructions, func(recs []trace.Rec) {
 					ca.AccessStream(recs)
 					plain.AccessStream(recs)
 				})
@@ -134,7 +140,7 @@ func RunOptions31Ctx(ctx context.Context, o Options) (Options31Result, error) {
 			}})
 	}
 
-	results, err := runner.Collect(ctx, o.runnerOpts(), jobs)
+	results, err := runner.Collect(ctx, cfg.RunnerOpts(), jobs)
 	if err != nil {
 		return res, err
 	}
@@ -159,22 +165,24 @@ func RunOptions31Ctx(ctx context.Context, o Options) (Options31Result, error) {
 	return res, nil
 }
 
-// Render prints the comparison.
-func (res Options31Result) Render() string {
-	var b strings.Builder
-	b.WriteString("§3.1 implementation options under page-size restrictions (bad programs)\n\n")
-	t := stats.NewTable("option", "metric", "value")
-	t.AddRow("baseline conventional", "IPC (geomean)", fmt.Sprintf("%.3f", res.ConvIPC))
-	t.AddRow("1: physical index (+1 cycle loads)", "IPC (geomean)", fmt.Sprintf("%.3f", res.Option1IPC))
-	t.AddRow("3: virtual-real hierarchy", "IPC (geomean)", fmt.Sprintf("%.3f", res.Option3IPC))
-	t.AddRow("2: adaptive, large pages", "load miss %", fmt.Sprintf("%.2f", res.Option2LargePagesMiss))
-	t.AddRow("2: adaptive, small pages", "load miss %", fmt.Sprintf("%.2f", res.Option2SmallPagesMiss))
-	t.AddRow("4: column-assoc rehash", "load miss %", fmt.Sprintf("%.2f", res.Option4Miss))
-	t.AddRow("   (plain direct-mapped)", "load miss %", fmt.Sprintf("%.2f", res.DirectMappedMiss))
-	b.WriteString(t.String())
-	b.WriteString("\nOption 3 (the paper's recommendation) keeps the full I-Poly win with no\n")
-	b.WriteString("translation penalty; option 1 pays a cycle on every load; option 2 only\n")
-	b.WriteString("helps processes with large pages; option 4 recovers direct-mapped\n")
-	b.WriteString("conflicts at the cost of occasional second probes.\n")
-	return b.String()
+// report converts the comparison.
+func (res Options31Result) report(cfg Options31Config) *exp.Report {
+	rep := &exp.Report{}
+	rep.SetMeta(cfg.Base)
+	t := exp.NewTable("options31",
+		"§3.1 implementation options under page-size restrictions (bad programs)",
+		exp.StrCol("option"), exp.StrCol("metric"), exp.FloatCol("value", "%.3f"))
+	t.AddRow("baseline conventional", "IPC (geomean)", res.ConvIPC)
+	t.AddRow("1: physical index (+1 cycle loads)", "IPC (geomean)", res.Option1IPC)
+	t.AddRow("3: virtual-real hierarchy", "IPC (geomean)", res.Option3IPC)
+	t.AddRow("2: adaptive, large pages", "load miss %", res.Option2LargePagesMiss)
+	t.AddRow("2: adaptive, small pages", "load miss %", res.Option2SmallPagesMiss)
+	t.AddRow("4: column-assoc rehash", "load miss %", res.Option4Miss)
+	t.AddRow("   (plain direct-mapped)", "load miss %", res.DirectMappedMiss)
+	rep.AddTable(t)
+	rep.Notef("Option 3 (the paper's recommendation) keeps the full I-Poly win with no\n" +
+		"translation penalty; option 1 pays a cycle on every load; option 2 only\n" +
+		"helps processes with large pages; option 4 recovers direct-mapped\n" +
+		"conflicts at the cost of occasional second probes.")
+	return rep
 }

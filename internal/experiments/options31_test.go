@@ -6,8 +6,8 @@ import (
 )
 
 func TestOptions31(t *testing.T) {
-	o := small()
-	res := RunOptions31(o)
+	cfg := Options31Config{Base: smallBase()}
+	res := runOK(t, RunOptions31Ctx, cfg)
 
 	// Option 3 (virtually indexed, no penalty) must beat the conventional
 	// baseline on the bad programs.
@@ -33,7 +33,7 @@ func TestOptions31(t *testing.T) {
 		t.Errorf("column-assoc %.2f should beat direct-mapped %.2f on bad programs",
 			res.Option4Miss, res.DirectMappedMiss)
 	}
-	if !strings.Contains(res.Render(), "virtual-real") {
+	if !strings.Contains(res.report(cfg.normalize()).RenderString(), "virtual-real") {
 		t.Error("render incomplete")
 	}
 }

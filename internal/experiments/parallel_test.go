@@ -3,14 +3,22 @@ package experiments
 import (
 	"context"
 	"encoding/json"
+	"strconv"
 	"testing"
 	"time"
+
+	"repro/internal/exp"
 )
 
-// tiny returns options scaled for the cross-worker determinism tests,
-// which run every experiment several times.
-func tiny() Options {
-	return Options{Instructions: 8_000, Seed: 7, Fig1Rounds: 5, MaxStride: 300}
+// tinyBase returns options scaled for the cross-worker determinism
+// tests, which run every experiment several times.
+func tinyBase(workers int) exp.Base {
+	return exp.Base{Instructions: 8_000, Seed: 7, Workers: workers}
+}
+
+// tinyFig1 returns the fig1 sweep at determinism-test scale.
+func tinyFig1(workers int) Fig1Config {
+	return Fig1Config{Base: tinyBase(workers), Rounds: 5, MaxStride: 300}
 }
 
 // asJSON canonicalises a result for byte-level comparison.
@@ -27,45 +35,64 @@ func asJSON(t *testing.T, v any) string {
 // against the retained serial driver: the engine must be a pure
 // performance change, never a results change.
 func TestFig1ParallelMatchesSerial(t *testing.T) {
-	o := tiny()
-	serial := asJSON(t, RunFig1Serial(o))
+	serial := asJSON(t, RunFig1Serial(tinyFig1(0)))
 	for _, workers := range []int{1, 4} {
-		o.Workers = workers
-		if got := asJSON(t, RunFig1(o)); got != serial {
+		got := asJSON(t, runOK(t, RunFig1Ctx, tinyFig1(workers)))
+		if got != serial {
 			t.Errorf("workers=%d: parallel result diverged from serial driver\n got %s\nwant %s",
 				workers, got, serial)
 		}
 	}
 }
 
-// TestExperimentsDeterministicAcrossWorkers runs every ported driver at
-// 1, 4 and 16 workers and requires byte-identical JSON.
+// tinyRegistryConfig builds the determinism-scale config for a
+// registered experiment by assigning its parameters through the spec —
+// the same write path the CLI flags use.
+func tinyRegistryConfig(t *testing.T, e exp.Experiment, workers int) exp.Config {
+	t.Helper()
+	cfg := e.New()
+	scale := map[string]string{
+		"instructions": "8000",
+		"seed":         "7",
+		"workers":      strconv.Itoa(workers),
+		"maxstride":    "300",
+		"rounds":       "5",
+	}
+	for _, p := range exp.ParamsOf(cfg) {
+		if v, ok := scale[p.Name]; ok {
+			if err := p.Set(v); err != nil {
+				t.Fatalf("%s: set %s: %v", e.Name, p.Name, err)
+			}
+		}
+	}
+	return cfg
+}
+
+// TestExperimentsDeterministicAcrossWorkers runs every registered
+// experiment through the registry path at 1, 4 and 16 workers and
+// requires byte-identical report JSON.
 func TestExperimentsDeterministicAcrossWorkers(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-run determinism sweep")
 	}
-	drivers := map[string]func(Options) any{
-		"fig1":       func(o Options) any { return RunFig1(o) },
-		"table2":     func(o Options) any { return RunTable2(o) },
-		"holes":      func(o Options) any { return RunHoles(o) },
-		"missratio":  func(o Options) any { return RunOrgs(o) },
-		"stddev":     func(o Options) any { return RunStdDev(o) },
-		"colassoc":   func(o Options) any { return RunColAssoc(o) },
-		"options31":  func(o Options) any { return RunOptions31(o) },
-		"sweep":      func(o Options) any { return RunSweep(o) },
-		"threec":     func(o Options) any { return RunThreeC(o) },
-		"interleave": func(o Options) any { return RunInterleave(o) },
-		"ablate":     func(o Options) any { return RunAblate(o) },
+	if len(exp.All()) == 0 {
+		t.Fatal("registry is empty")
 	}
-	for name, run := range drivers {
-		t.Run(name, func(t *testing.T) {
+	for _, e := range exp.All() {
+		t.Run(e.Name, func(t *testing.T) {
 			t.Parallel()
-			o := tiny()
-			o.Workers = 1
-			golden := asJSON(t, run(o))
+			run := func(workers int) string {
+				rep, err := exp.Run(context.Background(), e, tinyRegistryConfig(t, e, workers))
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Workers/Wall are execution metadata excluded from the
+				// JSON envelope, so this compares simulation payload only.
+				return asJSON(t, rep)
+			}
+			golden := run(1)
 			for _, workers := range []int{4, 16} {
-				o.Workers = workers
-				if got := asJSON(t, run(o)); got != golden {
+				if got := run(workers); got != golden {
 					t.Errorf("workers=%d output differs from workers=1", workers)
 				}
 			}
@@ -78,10 +105,10 @@ func TestExperimentsDeterministicAcrossWorkers(t *testing.T) {
 func TestFig1Cancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	o := Defaults()
-	o.Workers = 2
+	cfg := DefaultFig1Config()
+	cfg.Workers = 2
 	start := time.Now()
-	if _, err := RunFig1Ctx(ctx, o); err == nil {
+	if _, err := RunFig1Ctx(ctx, cfg); err == nil {
 		t.Fatal("cancelled sweep returned no error")
 	}
 	// The full sweep takes seconds; a pre-cancelled one must be instant.

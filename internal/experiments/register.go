@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"context"
+
+	"repro/internal/exp"
+)
+
+// register wires one typed driver into the process-wide registry: def
+// supplies the defaults (and, via its flag tags, the parameter spec),
+// normalize fills zero fields, run is the RunXxxCtx driver and report
+// converts its structured result into the uniform model.  The registry
+// sees only exp.Config/exp.Report; all typing stays here.
+func register[R any, C any, PC interface {
+	*C
+	exp.Config
+}](name, summary string,
+	def func() C,
+	normalize func(C) C,
+	run func(context.Context, C) (R, error),
+	report func(R, C) *exp.Report,
+) {
+	exp.Register(exp.Experiment{
+		Name:    name,
+		Summary: summary,
+		New: func() exp.Config {
+			c := def()
+			return PC(&c)
+		},
+		Run: func(ctx context.Context, cfg exp.Config) (*exp.Report, error) {
+			c := normalize(*cfg.(PC))
+			res, err := run(ctx, c)
+			if err != nil {
+				return nil, err
+			}
+			return report(res, c), nil
+		},
+	})
+}
+
+// init registers every experiment of the paper reproduction.  The
+// registry sorts by name, so declaration order here is cosmetic.
+func init() {
+	register("fig1", "Figure 1: miss-ratio distribution across strides, 4 index schemes",
+		DefaultFig1Config, Fig1Config.normalize, RunFig1Ctx, Fig1Result.report)
+	register("table2", "Table 2: IPC & load miss ratio, 18 benchmarks x 6 configurations",
+		DefaultTable2Config, Table2Config.normalize, RunTable2Ctx, Table2Result.report)
+	register("table3", "Table 3: high-conflict programs and bad/good averages",
+		DefaultTable3Config, Table3Config.normalize, RunTable3Ctx, Table3Result.report)
+	register("holes", "§3.3: hole probability model vs simulation",
+		DefaultHolesConfig, HolesConfig.normalize, RunHolesCtx, HolesResult.report)
+	register("missratio", "§2.1: cache organization comparison (I-Poly vs alternatives)",
+		DefaultOrgsConfig, OrgsConfig.normalize, RunOrgsCtx, OrgResult.report)
+	register("stddev", "§5: miss-ratio predictability (stddev across the suite)",
+		DefaultStdDevConfig, StdDevConfig.normalize, RunStdDevCtx, StdDevResult.report)
+	register("colassoc", "§3.1 option 4: column-associative polynomial rehash",
+		DefaultColAssocConfig, ColAssocConfig.normalize, RunColAssocCtx, ColAssocResult.report)
+	register("options31", "§3.1: the four routes around minimum-page-size limits",
+		DefaultOptions31Config, Options31Config.normalize, RunOptions31Ctx, Options31Result.report)
+	register("sweep", "design-space sweep: size x ways x scheme miss-ratio grid",
+		DefaultSweepConfig, SweepConfig.normalize, RunSweepCtx, SweepResult.report)
+	register("threec", "3C miss classification per benchmark, conventional vs I-Poly",
+		DefaultThreeCConfig, ThreeCConfig.normalize, RunThreeCCtx, ThreeCResult.report)
+	register("interleave", "§2.1 lineage: interleaved-memory bank selectors, bandwidth vs stride",
+		DefaultInterleaveConfig, InterleaveConfig.normalize, RunInterleaveCtx, InterleaveResult.report)
+	register("ablate", "design-choice ablations (polynomial, skew, bits, replacement, MSHRs, predictor, L2)",
+		DefaultAblateConfig, AblateConfig.normalize, RunAblateCtx, AblateResult.report)
+}

@@ -4,15 +4,28 @@ import (
 	"context"
 	"fmt"
 	"math/bits"
-	"strings"
 
 	"repro/internal/cache"
+	"repro/internal/exp"
 	"repro/internal/index"
 	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
+
+// SweepConfig configures the design-space sweep.
+type SweepConfig struct {
+	exp.Base
+}
+
+// DefaultSweepConfig returns the standard scale.
+func DefaultSweepConfig() SweepConfig { return SweepConfig{Base: exp.DefaultBase()} }
+
+func (c SweepConfig) normalize() SweepConfig {
+	c.Base.Normalize()
+	return c
+}
 
 // SweepResult maps the cache design space: suite-average load miss ratio
 // for every (size, ways, scheme) point.  It generalises the paper's
@@ -27,19 +40,13 @@ type SweepResult struct {
 	Miss [][][]float64
 }
 
-// RunSweep sweeps sizes {4,8,16,32} KB × ways {1,2,4} × schemes
-// {a2, a2-Hp-Sk} over the full suite.
-func RunSweep(o Options) SweepResult {
-	res, _ := RunSweepCtx(context.Background(), o)
-	return res
-}
-
-// RunSweepCtx runs the design-space sweep on the parallel engine, one
-// job per benchmark: each job streams its memory trace once, in bounded
+// RunSweepCtx sweeps sizes {4,8,16,32} KB × ways {1,2,4} × schemes
+// {a2, a2-Hp-Sk} over the full suite on the parallel engine, one job
+// per benchmark: each job streams its memory trace once, in bounded
 // chunks, through every (size, ways, scheme) point, so the total work
 // matches the serial driver while the suite fans out across workers.
-func RunSweepCtx(ctx context.Context, o Options) (SweepResult, error) {
-	o = o.normalize()
+func RunSweepCtx(ctx context.Context, cfg SweepConfig) (SweepResult, error) {
+	cfg = cfg.normalize()
 	res := SweepResult{
 		SizesKB: []int{4, 8, 16, 32},
 		Ways:    []int{1, 2, 4},
@@ -72,7 +79,7 @@ func RunSweepCtx(ctx context.Context, o Options) (SweepResult, error) {
 						}
 					}
 				}
-				err := forEachMemChunk(c, prof, o.Seed, o.Instructions,
+				err := forEachMemChunk(c, prof, cfg.Seed, cfg.Instructions,
 					func(recs []trace.Rec) {
 						for _, perWays := range caches {
 							for _, perScheme := range perWays {
@@ -98,7 +105,7 @@ func RunSweepCtx(ctx context.Context, o Options) (SweepResult, error) {
 				return grid, nil
 			})
 	}
-	grids, err := runner.All(ctx, o.runnerOpts(), jobs)
+	grids, err := runner.All(ctx, cfg.RunnerOpts(), jobs)
 	if err != nil {
 		return res, err
 	}
@@ -144,36 +151,37 @@ func (res SweepResult) At(sizeKB, ways int, scheme index.Scheme) (float64, bool)
 	return res.Miss[si][wi][ki], true
 }
 
-// Render prints the design-space grid.
-func (res SweepResult) Render() string {
-	var b strings.Builder
-	b.WriteString("Design-space sweep: suite-average load miss % (32B lines)\n\n")
-	headers := []string{"size"}
+// report converts the design-space grid.
+func (res SweepResult) report(cfg SweepConfig) *exp.Report {
+	rep := &exp.Report{}
+	rep.SetMeta(cfg.Base)
+	cols := []exp.Column{exp.StrCol("size")}
 	for _, w := range res.Ways {
 		for _, s := range res.Schemes {
-			headers = append(headers, fmt.Sprintf("%dw %s", w, s))
+			cols = append(cols, exp.FloatCol(fmt.Sprintf("%dw %s", w, s), ""))
 		}
 	}
-	t := stats.NewTable(headers...)
+	t := exp.NewTable("sweep",
+		"Design-space sweep: suite-average load miss % (32B lines)", cols...)
 	for si, sizeKB := range res.SizesKB {
-		row := []string{fmt.Sprintf("%dKB", sizeKB)}
+		cells := []any{fmt.Sprintf("%dKB", sizeKB)}
 		for wi := range res.Ways {
 			for ki := range res.Schemes {
-				row = append(row, fmt.Sprintf("%.2f", res.Miss[si][wi][ki]))
+				cells = append(cells, res.Miss[si][wi][ki])
 			}
 		}
-		t.AddRow(row...)
+		t.AddRow(cells...)
 	}
-	b.WriteString(t.String())
+	rep.AddTable(t)
 	if ip8, ok := res.At(8, 2, index.SchemeIPolySk); ok {
 		if c16, ok2 := res.At(16, 2, index.SchemeModulo); ok2 {
-			fmt.Fprintf(&b, "\n8KB 2-way I-Poly (%.2f%%) vs 16KB 2-way conventional (%.2f%%): ", ip8, c16)
+			verdict := "capacity wins at this scale."
 			if ip8 < c16 {
-				b.WriteString("the hash beats doubling capacity (the paper's Table 2/3 observation).\n")
-			} else {
-				b.WriteString("capacity wins at this scale.\n")
+				verdict = "the hash beats doubling capacity (the paper's Table 2/3 observation)."
 			}
+			rep.Notef("8KB 2-way I-Poly (%.2f%%) vs 16KB 2-way conventional (%.2f%%): %s",
+				ip8, c16, verdict)
 		}
 	}
-	return b.String()
+	return rep
 }

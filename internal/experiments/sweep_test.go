@@ -8,7 +8,8 @@ import (
 )
 
 func TestSweepShape(t *testing.T) {
-	res := RunSweep(small())
+	cfg := SweepConfig{Base: smallBase()}
+	res := runOK(t, RunSweepCtx, cfg)
 	if len(res.Miss) != len(res.SizesKB) {
 		t.Fatal("grid incomplete")
 	}
@@ -46,15 +47,14 @@ func TestSweepShape(t *testing.T) {
 	if _, ok := res.At(3, 2, index.SchemeModulo); ok {
 		t.Error("At should reject unknown points")
 	}
-	if !strings.Contains(res.Render(), "Design-space sweep") {
+	if !strings.Contains(res.report(cfg.normalize()).RenderString(), "Design-space sweep") {
 		t.Error("render incomplete")
 	}
 }
 
 func TestInterleaveLineage(t *testing.T) {
-	o := small()
-	o.MaxStride = 256
-	res := RunInterleave(o)
+	cfg := InterleaveConfig{Base: smallBase(), MaxStride: 256}
+	res := runOK(t, RunInterleaveCtx, cfg)
 	get := func(name string) int {
 		for i, s := range res.Schemes {
 			if s == name {
@@ -83,7 +83,7 @@ func TestInterleaveLineage(t *testing.T) {
 	if res.Degraded[pr] > res.Strides/10 {
 		t.Errorf("prime degraded on %d strides", res.Degraded[pr])
 	}
-	if !strings.Contains(res.Render(), "Cydra") {
+	if !strings.Contains(res.report(cfg.normalize()).RenderString(), "Cydra") {
 		t.Error("render incomplete")
 	}
 }

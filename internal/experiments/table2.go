@@ -3,14 +3,41 @@ package experiments
 import (
 	"context"
 	"fmt"
-	"strings"
 
 	"repro/internal/cpu"
+	"repro/internal/exp"
 	"repro/internal/index"
 	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
+
+// Table2Config configures the Table 2 IPC/miss-ratio grid.
+type Table2Config struct {
+	exp.Base
+}
+
+// DefaultTable2Config returns the standard scale.
+func DefaultTable2Config() Table2Config { return Table2Config{Base: exp.DefaultBase()} }
+
+func (c Table2Config) normalize() Table2Config {
+	c.Base.Normalize()
+	return c
+}
+
+// Table3Config configures the Table 3 view (a re-presentation of the
+// Table 2 simulations).
+type Table3Config struct {
+	exp.Base
+}
+
+// DefaultTable3Config returns the standard scale.
+func DefaultTable3Config() Table3Config { return Table3Config{Base: exp.DefaultBase()} }
+
+func (c Table3Config) normalize() Table3Config {
+	c.Base.Normalize()
+	return c
+}
 
 // Table2Row is one benchmark's row of the paper's Table 2: IPC and load
 // miss ratio across six processor/cache configurations.
@@ -72,19 +99,13 @@ type t2Cell struct {
 	ipc, miss float64
 }
 
-// RunTable2 simulates every benchmark under every configuration.
-func RunTable2(o Options) Table2Result {
-	res, _ := RunTable2Ctx(context.Background(), o)
-	return res
-}
-
 // RunTable2Ctx runs the 18-benchmark × 6-configuration grid on the
 // parallel engine, one job per grid cell (each simulation owns its
 // state; the shared placement functions are immutable after
 // construction).  Rows come back in suite order so the output is
 // deterministic at any worker count.
-func RunTable2Ctx(ctx context.Context, o Options) (Table2Result, error) {
-	o = o.normalize()
+func RunTable2Ctx(ctx context.Context, cfg Table2Config) (Table2Result, error) {
+	cfg = cfg.normalize()
 	cfgs := table2Configs()
 	cfgOrder := table2ConfigOrder()
 	suite := workload.Suite()
@@ -92,17 +113,17 @@ func RunTable2Ctx(ctx context.Context, o Options) (Table2Result, error) {
 	var jobs []runner.JobOf[t2Cell]
 	for _, prof := range suite {
 		for _, key := range cfgOrder {
-			cfg := cfgs[key]
+			coreCfg := cfgs[key]
 			jobs = append(jobs, runner.KeyedJob(
 				fmt.Sprintf("table2/%s/%s", prof.Name, key),
 				func(*runner.Ctx) (t2Cell, error) {
-					r := cpu.New(cfg).Run(limitedSource(prof, o.Seed, o.Instructions), o.Instructions)
+					r := cpu.New(coreCfg).Run(limitedSource(prof, cfg.Seed, cfg.Instructions), cfg.Instructions)
 					return t2Cell{ipc: r.IPC(), miss: 100 * r.MissRatio()}, nil
 				}))
 		}
 	}
 	var res Table2Result
-	cells, err := runner.All(ctx, o.runnerOpts(), jobs)
+	cells, err := runner.All(ctx, cfg.RunnerOpts(), jobs)
 	if err != nil {
 		return res, err
 	}
@@ -156,39 +177,40 @@ func average(name string, rows []Table2Row, keep func(Table2Row) bool) Table2Row
 	}
 }
 
-// header returns the Table 2 column headers.
-func table2Header() []string {
-	return []string{
-		"bench",
-		"16K IPC", "16K miss",
-		"8K IPC", "8K+pred IPC", "8K miss",
-		"Hp IPC", "Hp miss",
-		"Hp-CP IPC", "Hp-CP+pred IPC",
+// table2Columns declares the shared Table 2/Table 3 report columns.
+func table2Columns() []exp.Column {
+	return []exp.Column{
+		exp.StrCol("bench"),
+		exp.FloatCol("16K IPC", ""), exp.FloatCol("16K miss", ""),
+		exp.FloatCol("8K IPC", ""), exp.FloatCol("8K+pred IPC", ""), exp.FloatCol("8K miss", ""),
+		exp.FloatCol("Hp IPC", ""), exp.FloatCol("Hp miss", ""),
+		exp.FloatCol("Hp-CP IPC", ""), exp.FloatCol("Hp-CP+pred IPC", ""),
 	}
 }
 
-func addRow(t *stats.Table, r Table2Row) {
-	t.AddRowValues(r.Name,
+func addTable2Row(t *exp.Table, r Table2Row) {
+	t.AddRow(r.Name,
 		r.C16IPC, r.C16Miss,
 		r.C8IPC, r.C8PredIPC, r.C8Miss,
 		r.IPolyIPC, r.IPolyMiss,
 		r.InCPIPC, r.InCPPredIPC)
 }
 
-// Render prints the full Table 2 with average rows.
-func (res Table2Result) Render() string {
-	t := stats.NewTable(table2Header()...)
+// report converts the full Table 2 with average rows.
+func (res Table2Result) report(cfg Table2Config) *exp.Report {
+	rep := &exp.Report{}
+	rep.SetMeta(cfg.Base)
+	t := exp.NewTable("table2",
+		"Table 2: IPC and load miss ratio (miss in %).\nConventional (16K / 8K) vs skewed I-Poly (Hp; CP = XOR on critical path).",
+		table2Columns()...)
 	for _, r := range res.Rows {
-		addRow(t, r)
+		addTable2Row(t, r)
 	}
-	addRow(t, res.IntAvg)
-	addRow(t, res.FPAvg)
-	addRow(t, res.Combined)
-	var b strings.Builder
-	b.WriteString("Table 2: IPC and load miss ratio (miss in %).\n")
-	b.WriteString("Conventional (16K / 8K) vs skewed I-Poly (Hp; CP = XOR on critical path).\n\n")
-	b.WriteString(t.String())
-	return b.String()
+	addTable2Row(t, res.IntAvg)
+	addTable2Row(t, res.FPAvg)
+	addTable2Row(t, res.Combined)
+	rep.AddTable(t)
+	return rep
 }
 
 // Table3Result is the paper's Table 3: the three high-conflict programs
@@ -199,15 +221,10 @@ type Table3Result struct {
 	GoodAvg Table2Row
 }
 
-// RunTable3 derives Table 3 from a Table 2 run (the paper's Table 3 is a
-// re-presentation of the same simulations).
-func RunTable3(o Options) Table3Result {
-	return DeriveTable3(RunTable2(o))
-}
-
-// RunTable3Ctx is RunTable3 on the parallel engine with cancellation.
-func RunTable3Ctx(ctx context.Context, o Options) (Table3Result, error) {
-	t2, err := RunTable2Ctx(ctx, o)
+// RunTable3Ctx derives Table 3 from a Table 2 run (the paper's Table 3
+// is a re-presentation of the same simulations).
+func RunTable3Ctx(ctx context.Context, cfg Table3Config) (Table3Result, error) {
+	t2, err := RunTable2Ctx(ctx, Table2Config{Base: cfg.Base})
 	if err != nil {
 		return Table3Result{}, err
 	}
@@ -227,16 +244,18 @@ func DeriveTable3(t2 Table2Result) Table3Result {
 	return res
 }
 
-// Render prints Table 3.
-func (res Table3Result) Render() string {
-	t := stats.NewTable(table2Header()...)
+// report converts Table 3.
+func (res Table3Result) report(cfg Table3Config) *exp.Report {
+	rep := &exp.Report{}
+	rep.SetMeta(cfg.Base)
+	t := exp.NewTable("table3",
+		"Table 3: the high-conflict programs and bad/good averages.",
+		table2Columns()...)
 	for _, r := range res.Rows {
-		addRow(t, r)
+		addTable2Row(t, r)
 	}
-	addRow(t, res.BadAvg)
-	addRow(t, res.GoodAvg)
-	var b strings.Builder
-	b.WriteString("Table 3: the high-conflict programs and bad/good averages.\n\n")
-	b.WriteString(t.String())
-	return b.String()
+	addTable2Row(t, res.BadAvg)
+	addTable2Row(t, res.GoodAvg)
+	rep.AddTable(t)
+	return rep
 }

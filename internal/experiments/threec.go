@@ -3,15 +3,28 @@ package experiments
 import (
 	"context"
 	"fmt"
-	"strings"
 
 	"repro/internal/cache"
+	"repro/internal/exp"
 	"repro/internal/index"
 	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
+
+// ThreeCConfig configures the §4 miss-classification study.
+type ThreeCConfig struct {
+	exp.Base
+}
+
+// DefaultThreeCConfig returns the standard scale.
+func DefaultThreeCConfig() ThreeCConfig { return ThreeCConfig{Base: exp.DefaultBase()} }
+
+func (c ThreeCConfig) normalize() ThreeCConfig {
+	c.Base.Normalize()
+	return c
+}
 
 // ThreeCRow is one benchmark's miss breakdown under one indexing scheme,
 // expressed as a percentage of loads (so the columns sum to the load
@@ -36,15 +49,8 @@ type ThreeCResult struct {
 	IPoly        []ThreeCRow
 }
 
-// RunThreeC classifies every miss of every benchmark under both
-// indexings (8 KB, 2-way, 32 B lines).
-func RunThreeC(o Options) ThreeCResult {
-	res, _ := RunThreeCCtx(context.Background(), o)
-	return res
-}
-
 // threeCBench classifies one benchmark's loads under one placement.
-func threeCBench(ctx context.Context, o Options, prof workload.Profile, place index.Placement) (ThreeCRow, error) {
+func threeCBench(ctx context.Context, cfg ThreeCConfig, prof workload.Profile, place index.Placement) (ThreeCRow, error) {
 	c := cache.New(cache.Config{
 		Size: 8 << 10, BlockSize: 32, Ways: 2,
 		Placement: place, WriteAllocate: false,
@@ -52,7 +58,7 @@ func threeCBench(ctx context.Context, o Options, prof workload.Profile, place in
 	cl := cache.NewClassifier(256)
 	loads := uint64(0)
 	var brk cache.MissBreakdown
-	err := forEachMemChunk(ctx, prof, o.Seed, o.Instructions, func(recs []trace.Rec) {
+	err := forEachMemChunk(ctx, prof, cfg.Seed, cfg.Instructions, func(recs []trace.Rec) {
 		for i := range recs {
 			write := recs[i].Op == trace.OpStore
 			hit := c.Access(recs[i].Addr, write).Hit
@@ -93,8 +99,8 @@ func threeCBench(ctx context.Context, o Options, prof workload.Profile, place in
 
 // RunThreeCCtx runs the classification on the parallel engine, one job
 // per (indexing, benchmark) pair.
-func RunThreeCCtx(ctx context.Context, o Options) (ThreeCResult, error) {
-	o = o.normalize()
+func RunThreeCCtx(ctx context.Context, cfg ThreeCConfig) (ThreeCResult, error) {
+	cfg = cfg.normalize()
 	var res ThreeCResult
 	suite := workload.Suite()
 	schemes := []index.Scheme{index.SchemeModulo, index.SchemeIPolySk}
@@ -105,11 +111,11 @@ func RunThreeCCtx(ctx context.Context, o Options) (ThreeCResult, error) {
 			jobs = append(jobs, runner.KeyedJob(
 				fmt.Sprintf("threec/%s/%s", scheme, prof.Name),
 				func(c *runner.Ctx) (ThreeCRow, error) {
-					return threeCBench(c, o, prof, place)
+					return threeCBench(c, cfg, prof, place)
 				}))
 		}
 	}
-	rows, err := runner.All(ctx, o.runnerOpts(), jobs)
+	rows, err := runner.All(ctx, cfg.RunnerOpts(), jobs)
 	if err != nil {
 		return res, err
 	}
@@ -118,30 +124,31 @@ func RunThreeCCtx(ctx context.Context, o Options) (ThreeCResult, error) {
 	return res, nil
 }
 
-// Render prints the side-by-side breakdown.
-func (res ThreeCResult) Render() string {
-	var b strings.Builder
-	b.WriteString("3C miss classification, % of loads (8KB 2-way, 32B lines)\n")
-	b.WriteString("Paper §4: conventional conflict component < 4% except tomcatv/swim/wave5.\n\n")
-	t := stats.NewTable("bench",
-		"conv compulsory", "conv capacity", "conv conflict",
-		"Hp compulsory", "Hp capacity", "Hp conflict")
+// report converts the side-by-side breakdown.
+func (res ThreeCResult) report(cfg ThreeCConfig) *exp.Report {
+	rep := &exp.Report{}
+	rep.SetMeta(cfg.Base)
+	t := exp.NewTable("threec",
+		"3C miss classification, % of loads (8KB 2-way, 32B lines)\nPaper §4: conventional conflict component < 4% except tomcatv/swim/wave5.",
+		exp.StrCol("bench"), exp.StrCol("bad"),
+		exp.FloatCol("conv compulsory", ""), exp.FloatCol("conv capacity", ""), exp.FloatCol("conv conflict", ""),
+		exp.FloatCol("Hp compulsory", ""), exp.FloatCol("Hp capacity", ""), exp.FloatCol("Hp conflict", ""))
 	for i, c := range res.Conventional {
 		p := res.IPoly[i]
-		name := c.Name
+		mark := ""
 		if c.Bad {
-			name += " *"
+			mark = "*"
 		}
-		t.AddRowValues(name, c.Compulsory, c.Capacity, c.Conflict,
+		t.AddRow(c.Name, mark, c.Compulsory, c.Capacity, c.Conflict,
 			p.Compulsory, p.Capacity, p.Conflict)
 	}
-	b.WriteString(t.String())
+	rep.AddTable(t)
 	var convConf, ipConf []float64
 	for i := range res.Conventional {
 		convConf = append(convConf, res.Conventional[i].Conflict)
 		ipConf = append(ipConf, res.IPoly[i].Conflict)
 	}
-	fmt.Fprintf(&b, "\nMean conflict component: conventional %.2f%% -> I-Poly %.2f%%  (* = Table 3 bad programs)\n",
+	rep.Notef("Mean conflict component: conventional %.2f%% -> I-Poly %.2f%%  (* = Table 3 bad programs)",
 		stats.Mean(convConf), stats.Mean(ipConf))
-	return b.String()
+	return rep
 }

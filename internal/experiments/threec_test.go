@@ -6,7 +6,8 @@ import (
 )
 
 func TestThreeCMatchesPaperSplit(t *testing.T) {
-	res := RunThreeC(small())
+	cfg := ThreeCConfig{Base: smallBase()}
+	res := runOK(t, RunThreeCCtx, cfg)
 	if len(res.Conventional) != 18 || len(res.IPoly) != 18 {
 		t.Fatal("incomplete rows")
 	}
@@ -44,7 +45,7 @@ func TestThreeCMatchesPaperSplit(t *testing.T) {
 				c.Name, c.Compulsory, p.Compulsory)
 		}
 	}
-	if !strings.Contains(res.Render(), "conflict") {
+	if !strings.Contains(res.report(cfg.normalize()).RenderString(), "conflict") {
 		t.Error("render incomplete")
 	}
 }

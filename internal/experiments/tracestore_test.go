@@ -4,6 +4,7 @@ import (
 	"context"
 	"testing"
 
+	"repro/internal/exp"
 	"repro/internal/tracestore"
 	"repro/internal/workload"
 )
@@ -21,14 +22,14 @@ func TestDriversShareOneGenerationPass(t *testing.T) {
 	memTraces = tracestore.New(tracestore.DefaultMaxBytes)
 	defer func() { memTraces = saved }()
 
-	o := Options{Instructions: 4_000, Seed: 7, Fig1Rounds: 5, MaxStride: 300}
+	b := exp.Base{Instructions: 4_000, Seed: 7}
 	ctx := context.Background()
 	for _, run := range []func() error{
-		func() error { _, err := RunOrgsCtx(ctx, o); return err },
-		func() error { _, err := RunStdDevCtx(ctx, o); return err },
-		func() error { _, err := RunSweepCtx(ctx, o); return err },
-		func() error { _, err := RunThreeCCtx(ctx, o); return err },
-		func() error { _, err := RunColAssocCtx(ctx, o); return err },
+		func() error { _, err := RunOrgsCtx(ctx, OrgsConfig{Base: b}); return err },
+		func() error { _, err := RunStdDevCtx(ctx, StdDevConfig{Base: b}); return err },
+		func() error { _, err := RunSweepCtx(ctx, SweepConfig{Base: b}); return err },
+		func() error { _, err := RunThreeCCtx(ctx, ThreeCConfig{Base: b}); return err },
+		func() error { _, err := RunColAssocCtx(ctx, ColAssocConfig{Base: b}); return err },
 	} {
 		if err := run(); err != nil {
 			t.Fatal(err)

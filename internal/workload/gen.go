@@ -12,13 +12,10 @@ import (
 // per body slot so branch and address predictors see realistic,
 // per-instruction-stable streams.
 //
-// Generator implements both trace.Source (the chunked fast path:
-// iterations are emitted directly into the caller's buffer, zero
-// allocations and zero copies in steady state) and the legacy
-// trace.Stream (one record at a time, retained as the reference the
-// chunked path is pinned against).  Both paths share one emission
-// routine, so they produce bit-identical record sequences and may even
-// be interleaved on one Generator.
+// Generator implements trace.Source: the chunked fast path emits whole
+// iterations directly into the caller's buffer, with zero allocations
+// and zero copies in steady state.  gen_chunk_test.go pins the output
+// bit-identical at every chunk size, down to a 1-record buffer.
 type Generator struct {
 	prof   Profile
 	rnd    *rng.RNG
@@ -30,8 +27,7 @@ type Generator struct {
 
 	// bodyMax bounds the records one iteration can emit; scratch is a
 	// bodyMax-sized spill buffer used when an iteration straddles a chunk
-	// boundary (and by the legacy Next path); pending aliases the unread
-	// tail of scratch.
+	// boundary; pending aliases the unread tail of scratch.
 	bodyMax int
 	scratch []trace.Rec
 	pending []trace.Rec
@@ -50,10 +46,6 @@ func NewGenerator(prof Profile, seed uint64) *Generator {
 		scratch: make([]trace.Rec, bodyMax),
 	}
 }
-
-// Stream returns an infinite legacy stream for prof; wrap in trace.Limit
-// to bound it.  Deprecated in favour of Source.
-func Stream(prof Profile, seed uint64) trace.Stream { return NewGenerator(prof, seed) }
 
 // Source returns an infinite chunked source for prof; wrap in
 // trace.Limit to bound it.
@@ -86,17 +78,6 @@ func (g *Generator) ReadChunk(buf []trace.Rec) (int, bool) {
 		}
 	}
 	return n, false
-}
-
-// Next implements trace.Stream.  The stream never ends.
-func (g *Generator) Next() (trace.Rec, bool) {
-	if len(g.pending) == 0 {
-		k := g.emitIteration(g.scratch)
-		g.pending = g.scratch[:k]
-	}
-	r := g.pending[0]
-	g.pending = g.pending[1:]
-	return r, true
 }
 
 // nextIntReg cycles through integer registers 1..23 (24..31 are reserved
@@ -222,25 +203,32 @@ type Mix struct {
 
 // SampleMix runs the generator for n instructions and tallies the mix.
 func SampleMix(prof Profile, seed uint64, n int) Mix {
-	g := Stream(prof, seed)
+	g := Source(prof, seed)
 	var m Mix
-	for i := 0; i < n; i++ {
-		r, ok := g.Next()
-		if !ok {
-			break
+	buf := make([]trace.Rec, 4096)
+	for m.Total < n {
+		want := len(buf)
+		if n-m.Total < want {
+			want = n - m.Total
 		}
-		m.Total++
-		switch {
-		case r.Op == trace.OpLoad:
-			m.Loads++
-		case r.Op == trace.OpStore:
-			m.Stores++
-		case r.Op == trace.OpBranch:
-			m.Branches++
-		case r.Op.IsFP():
-			m.FP++
-		default:
-			m.Int++
+		k, eof := g.ReadChunk(buf[:want])
+		for _, r := range buf[:k] {
+			m.Total++
+			switch {
+			case r.Op == trace.OpLoad:
+				m.Loads++
+			case r.Op == trace.OpStore:
+				m.Stores++
+			case r.Op == trace.OpBranch:
+				m.Branches++
+			case r.Op.IsFP():
+				m.FP++
+			default:
+				m.Int++
+			}
+		}
+		if eof {
+			break
 		}
 	}
 	return m

@@ -28,24 +28,21 @@ func collectChunked(prof Profile, seed uint64, n, chunkSize int) []trace.Rec {
 
 // TestGeneratorChunkDeterminism pins the chunked-source contract: for
 // every profile, the same (profile, seed) must yield identical records
-// at every chunk size — including sizes far below the iteration body
-// length, which force the spill-buffer path — and must match the legacy
-// record-at-a-time Next() reference exactly.
+// at every chunk size.  The reference is ReadChunk driven with a
+// 1-record buffer — the successor of the removed record-at-a-time
+// Next() path, exercising the spill buffer on every iteration — and
+// the larger sizes (including 7, far below the iteration body length,
+// which straddles chunk boundaries) must match it exactly.
 func TestGeneratorChunkDeterminism(t *testing.T) {
 	const n = 20_000
 	const seed = 42
 	for _, prof := range Suite() {
-		// Legacy reference: one record at a time.
-		g := NewGenerator(prof, seed)
-		ref := make([]trace.Rec, 0, n)
-		for i := 0; i < n; i++ {
-			r, ok := g.Next()
-			if !ok {
-				t.Fatalf("%s: Next ended early", prof.Name)
-			}
-			ref = append(ref, r)
+		// Reference: a 1-record buffer, one record per ReadChunk call.
+		ref := collectChunked(prof, seed, n, 1)
+		if len(ref) != n {
+			t.Fatalf("%s: reference yielded %d records, want %d", prof.Name, len(ref), n)
 		}
-		for _, chunkSize := range []int{1, 7, 4096} {
+		for _, chunkSize := range []int{7, 4096} {
 			got := collectChunked(prof, seed, n, chunkSize)
 			if len(got) != n {
 				t.Fatalf("%s chunk=%d: got %d records, want %d", prof.Name, chunkSize, len(got), n)
@@ -60,21 +57,23 @@ func TestGeneratorChunkDeterminism(t *testing.T) {
 	}
 }
 
-// TestGeneratorMixedNextAndChunk checks the two intake paths share one
-// emission cursor: alternating Next and ReadChunk on a single generator
-// yields the same sequence as either path alone.
-func TestGeneratorMixedNextAndChunk(t *testing.T) {
+// TestGeneratorMixedChunkSizes checks one generator keeps a single
+// emission cursor across varying buffer sizes: alternating 1-record and
+// 13-record ReadChunk calls on the same generator yields the same
+// sequence as a large-buffer pass.
+func TestGeneratorMixedChunkSizes(t *testing.T) {
 	prof, _ := ByName("tomcatv")
 	const n = 5_000
 	ref := collectChunked(prof, 9, n, 4096)
 
 	g := NewGenerator(prof, 9)
 	got := make([]trace.Rec, 0, n)
+	one := make([]trace.Rec, 1)
 	buf := make([]trace.Rec, 13)
 	for len(got) < n {
 		if len(got)%3 == 0 {
-			r, _ := g.Next()
-			got = append(got, r)
+			k, _ := g.ReadChunk(one)
+			got = append(got, one[:k]...)
 			continue
 		}
 		want := len(buf)

@@ -103,13 +103,14 @@ func TestMixSanity(t *testing.T) {
 
 func TestValidOpsAndPCs(t *testing.T) {
 	for _, p := range Suite() {
-		s := Stream(p, 3)
+		s := Source(p, 3)
 		pcs := make(map[uint64]trace.Op)
+		buf := make([]trace.Rec, 1)
 		for i := 0; i < 5000; i++ {
-			r, ok := s.Next()
-			if !ok {
+			if k, _ := s.ReadChunk(buf); k != 1 {
 				t.Fatalf("%s: stream ended", p.Name)
 			}
+			r := buf[0]
 			if !r.Op.Valid() {
 				t.Fatalf("%s: invalid op", p.Name)
 			}
