@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-cache bench-trace fuzz-smoke lint report ci
+.PHONY: build test race bench bench-smoke bench-cache bench-trace bench-grid fuzz-smoke lint report ci
 
 build:
 	$(GO) build ./...
@@ -44,11 +44,22 @@ bench-trace:
 	$(GO) run ./cmd/benchjson -suite trace < bench_trace.txt > BENCH_trace.current.json
 	@cat BENCH_trace.current.json
 
-# Short native-fuzz smoke over the trace codec (one target per
-# invocation, as `go test -fuzz` requires).
+# Grid engine benchmark: the single-pass multi-configuration engine
+# against the sequential per-config and fan-out shapes it replaces, on
+# the sweep's 24-point design space.  Same archival scheme as
+# bench-cache: BENCH_grid.current.json is gitignored, the committed
+# BENCH_grid.json is the curated before/after record.
+bench-grid:
+	$(GO) test -run '^$$' -bench 'BenchmarkGridVsSequential' -benchmem -benchtime 1s . > bench_grid.txt
+	$(GO) run ./cmd/benchjson -suite grid < bench_grid.txt > BENCH_grid.current.json
+	@cat BENCH_grid.current.json
+
+# Short native-fuzz smoke over the trace codec and the grid engine (one
+# target per invocation, as `go test -fuzz` requires).
 fuzz-smoke:
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime 10s
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzReaderCorrupt -fuzztime 10s
+	$(GO) test ./internal/cache -run '^$$' -fuzz FuzzGridAccess -fuzztime 10s
 
 lint:
 	$(GO) vet ./...

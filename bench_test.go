@@ -343,6 +343,76 @@ func BenchmarkCPUSim(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
+// Grid engine benchmarks (make bench-grid -> BENCH_grid.json)
+// ---------------------------------------------------------------------------
+
+// BenchmarkGridVsSequential measures the single-pass grid engine
+// against the sequential shapes it replaces, on the sweep aggregate
+// (the full 24-point design space over one benchmark's 200k-record
+// memory trace, served from the memoized store):
+//
+//   - perconfig: one full trace pass per configuration — the shape of
+//     per-config runner jobs, 24 store decodes per iteration;
+//   - multicache: one trace pass whose chunks fan out to 24 independent
+//     Cache engines — the pre-Grid driver shape;
+//   - grid: one trace pass through cache.Grid — decode and pre-split
+//     paid once, all 24 points advanced per chunk.
+//
+// The acceptance bar for the Grid engine is >= 3x over perconfig on
+// this aggregate (results are bit-identical across all three shapes;
+// see TestSweepGridMatchesPerConfig and the cache package's
+// differential tests).
+func BenchmarkGridVsSequential(b *testing.B) {
+	prof := mustProf(b, "gcc")
+	const nrecs = 200_000
+	const seed = 1997
+	store := tracestore.New(tracestore.DefaultMaxBytes)
+	ctx := context.Background()
+	// Materialize the packed trace outside the timed regions.
+	if err := store.ReplayMem(ctx, prof, seed, nrecs, func([]trace.Rec) {}); err != nil {
+		b.Fatal(err)
+	}
+	replay := func(b *testing.B, fn func(recs []trace.Rec)) {
+		b.Helper()
+		if err := store.ReplayMem(ctx, prof, seed, nrecs, fn); err != nil {
+			b.Fatal(err)
+		}
+	}
+	spec := experiments.SweepGridSpec()
+
+	b.Run("perconfig", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, cfg := range spec {
+				c := cache.New(cfg)
+				replay(b, func(recs []trace.Rec) { c.AccessStream(recs) })
+			}
+		}
+	})
+	b.Run("multicache", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			caches := make([]*cache.Cache, len(spec))
+			for k, cfg := range spec {
+				caches[k] = cache.New(cfg)
+			}
+			replay(b, func(recs []trace.Rec) {
+				for _, c := range caches {
+					c.AccessStream(recs)
+				}
+			})
+		}
+	})
+	b.Run("grid", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g := cache.NewGrid(spec)
+			replay(b, func(recs []trace.Rec) { g.AccessStream(recs) })
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
 // Trace-pipeline benchmarks (make bench-trace -> BENCH_trace.json)
 // ---------------------------------------------------------------------------
 

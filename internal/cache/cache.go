@@ -173,16 +173,12 @@ const (
 	pkSingle                   // fully-associative single set
 )
 
-// Cache is a set-associative cache with a pluggable placement function.
-// It is not safe for concurrent use.
-type Cache struct {
-	cfg     Config
-	place   index.Placement
-	sets    int
-	ways    int
-	offBits int
-
-	// Devirtualized placement state (see resolvePlacement).
+// placer is the devirtualized placement state shared by Cache and Grid:
+// the index.Placement interface resolved at construction into one of the
+// monomorphic fast paths, so the per-access index computation never
+// dispatches through the interface for the known families.
+type placer struct {
+	place    index.Placement
 	kind     placeKind
 	skewed   bool
 	setMask  uint64           // pkModulo
@@ -190,6 +186,68 @@ type Cache struct {
 	foldMask uint64           // pkXorFold
 	foldSkew bool             // pkXorFold
 	mats     []*gf2.BitMatrix // pkIPoly: one matrix per way
+}
+
+// resolvePlacer devirtualizes place into one of the monomorphic fast
+// paths.  Unknown implementations keep the (correct but slower)
+// interface-dispatch path.
+func resolvePlacer(place index.Placement, sets, ways int) placer {
+	pf := placer{place: place, kind: pkGeneric, skewed: place.Skewed()}
+	switch p := place.(type) {
+	case *index.Modulo:
+		pf.kind = pkModulo
+		pf.setMask = uint64(sets - 1)
+	case *index.XORFold:
+		pf.kind = pkXorFold
+		pf.foldBits = uint(p.Bits())
+		pf.foldMask = 1<<pf.foldBits - 1
+		pf.foldSkew = p.Skewed()
+	case *index.IPoly:
+		pf.kind = pkIPoly
+		pf.mats = make([]*gf2.BitMatrix, ways)
+		for w := 0; w < ways; w++ {
+			pf.mats[w] = p.Matrix(w)
+		}
+	case index.Single:
+		pf.kind = pkSingle
+	}
+	return pf
+}
+
+// setIndex computes the set index for block in way w through the
+// devirtualized fast path.
+func (p *placer) setIndex(block uint64, w int) uint64 {
+	switch p.kind {
+	case pkModulo:
+		return block & p.setMask
+	case pkXorFold:
+		lo := block & p.foldMask
+		hi := (block >> p.foldBits) & p.foldMask
+		if p.foldSkew && w > 0 {
+			if k := uint(w) % p.foldBits; k != 0 {
+				hi = ((hi << k) | (hi >> (p.foldBits - k))) & p.foldMask
+			}
+		}
+		return lo ^ hi
+	case pkIPoly:
+		return p.mats[w].Apply(block)
+	case pkSingle:
+		return 0
+	default:
+		return p.place.SetIndex(block, w)
+	}
+}
+
+// Cache is a set-associative cache with a pluggable placement function.
+// It is not safe for concurrent use.
+type Cache struct {
+	cfg     Config
+	sets    int
+	ways    int
+	offBits int
+
+	// Devirtualized placement state (see resolvePlacer).
+	placer
 
 	// lines is the flat set-major line store: way w of set s lives at
 	// lines[int(s)*ways + w], so all candidate ways of a non-skewed
@@ -211,12 +269,14 @@ type Cache struct {
 	OnEvict func(block uint64, dirty bool)
 }
 
-// New builds a cache from cfg.  It panics on invalid geometry, on a
-// placement whose set count disagrees with the geometry, or on PLRU with
-// a skewed placement.
-func New(cfg Config) *Cache {
-	sets := cfg.numSets()
-	place := cfg.Placement
+// resolveGeometry validates cfg and returns its set count and effective
+// placement: the geometry panics of numSets, a modulo default for a nil
+// placement, the placement/geometry set-count agreement check, and the
+// PLRU structural constraints.  Shared by New and NewGrid so the two
+// engines accept exactly the same configurations.
+func resolveGeometry(cfg Config) (sets int, place index.Placement) {
+	sets = cfg.numSets()
+	place = cfg.Placement
 	if place == nil {
 		place = index.NewModulo(bits.TrailingZeros(uint(sets)))
 	}
@@ -231,15 +291,22 @@ func New(cfg Config) *Cache {
 			panic("cache: PLRU requires power-of-two ways")
 		}
 	}
+	return sets, place
+}
+
+// New builds a cache from cfg.  It panics on invalid geometry, on a
+// placement whose set count disagrees with the geometry, or on PLRU with
+// a skewed placement.
+func New(cfg Config) *Cache {
+	sets, place := resolveGeometry(cfg)
 	c := &Cache{
 		cfg:     cfg,
-		place:   place,
 		sets:    sets,
 		ways:    cfg.Ways,
 		offBits: bits.TrailingZeros(uint(cfg.BlockSize)),
+		placer:  resolvePlacer(place, sets, cfg.Ways),
 		rnd:     rng.New(cfg.Seed ^ 0xCAFE),
 	}
-	c.resolvePlacement()
 	c.lines = make([]line, sets*cfg.Ways)
 	if c.skewed {
 		c.setScratch = make([]uint64, cfg.Ways)
@@ -248,57 +315,6 @@ func New(cfg Config) *Cache {
 		c.plruBits = make([]uint64, sets)
 	}
 	return c
-}
-
-// resolvePlacement devirtualizes the placement interface into one of the
-// monomorphic fast paths.  Unknown implementations keep the (correct but
-// slower) interface-dispatch path.
-func (c *Cache) resolvePlacement() {
-	c.skewed = c.place.Skewed()
-	switch p := c.place.(type) {
-	case *index.Modulo:
-		c.kind = pkModulo
-		c.setMask = uint64(c.sets - 1)
-	case *index.XORFold:
-		c.kind = pkXorFold
-		c.foldBits = uint(p.Bits())
-		c.foldMask = 1<<c.foldBits - 1
-		c.foldSkew = p.Skewed()
-	case *index.IPoly:
-		c.kind = pkIPoly
-		c.mats = make([]*gf2.BitMatrix, c.ways)
-		for w := 0; w < c.ways; w++ {
-			c.mats[w] = p.Matrix(w)
-		}
-	case index.Single:
-		c.kind = pkSingle
-	default:
-		c.kind = pkGeneric
-	}
-}
-
-// setIndex computes the set index for block in way w through the
-// devirtualized fast path.
-func (c *Cache) setIndex(block uint64, w int) uint64 {
-	switch c.kind {
-	case pkModulo:
-		return block & c.setMask
-	case pkXorFold:
-		lo := block & c.foldMask
-		hi := (block >> c.foldBits) & c.foldMask
-		if c.foldSkew && w > 0 {
-			if k := uint(w) % c.foldBits; k != 0 {
-				hi = ((hi << k) | (hi >> (c.foldBits - k))) & c.foldMask
-			}
-		}
-		return lo ^ hi
-	case pkIPoly:
-		return c.mats[w].Apply(block)
-	case pkSingle:
-		return 0
-	default:
-		return c.place.SetIndex(block, w)
-	}
 }
 
 // Config returns the configuration the cache was built with.
@@ -722,49 +738,63 @@ func (c *Cache) lookup(block uint64) (way int, set uint64, ok bool) {
 // point away from it.
 
 func (c *Cache) plruVictim(s uint64) int {
-	bitsState := c.plruBits[s]
-	node := 0
-	for span := c.ways; span > 1; span /= 2 {
-		b := bitsState >> uint(node) & 1
-		node = 2*node + 1 + int(b)
-	}
-	return node - (c.ways - 1)
+	return plruVictimWord(c.plruBits[s], c.ways)
 }
 
 func (c *Cache) plruTouch(s uint64, way int) {
-	// Walk from the root toward way, setting each bit to point to the
-	// OTHER subtree.
+	plruTouchWord(&c.plruBits[s], c.ways, way)
+}
+
+// plruPointTo walks from the root toward way, setting each bit to point
+// AT it, so the vacated way becomes the set's next pseudo-LRU victim.
+func (c *Cache) plruPointTo(s uint64, way int) {
+	plruPointToWord(&c.plruBits[s], c.ways, way)
+}
+
+// plruVictimWord follows one set's tree bits down to its pseudo-LRU way.
+func plruVictimWord(state uint64, ways int) int {
 	node := 0
-	lo, hi := 0, c.ways
+	for span := ways; span > 1; span /= 2 {
+		b := state >> uint(node) & 1
+		node = 2*node + 1 + int(b)
+	}
+	return node - (ways - 1)
+}
+
+// plruTouchWord walks from the root toward way, setting each bit to
+// point to the OTHER subtree.
+func plruTouchWord(state *uint64, ways, way int) {
+	node := 0
+	lo, hi := 0, ways
 	for hi-lo > 1 {
 		mid := (lo + hi) / 2
 		if way < mid {
 			// way is in the left subtree: point the bit right (1) and
 			// descend left.
-			c.plruBits[s] |= 1 << uint(node)
+			*state |= 1 << uint(node)
 			node = 2*node + 1
 			hi = mid
 		} else {
-			c.plruBits[s] &^= 1 << uint(node)
+			*state &^= 1 << uint(node)
 			node = 2*node + 2
 			lo = mid
 		}
 	}
 }
 
-// plruPointTo walks from the root toward way, setting each bit to point
-// AT it, so the vacated way becomes the set's next pseudo-LRU victim.
-func (c *Cache) plruPointTo(s uint64, way int) {
+// plruPointToWord walks from the root toward way, setting each bit to
+// point AT it.
+func plruPointToWord(state *uint64, ways, way int) {
 	node := 0
-	lo, hi := 0, c.ways
+	lo, hi := 0, ways
 	for hi-lo > 1 {
 		mid := (lo + hi) / 2
 		if way < mid {
-			c.plruBits[s] &^= 1 << uint(node)
+			*state &^= 1 << uint(node)
 			node = 2*node + 1
 			hi = mid
 		} else {
-			c.plruBits[s] |= 1 << uint(node)
+			*state |= 1 << uint(node)
 			node = 2*node + 2
 			lo = mid
 		}

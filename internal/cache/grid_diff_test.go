@@ -1,0 +1,143 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// The differential harness: a Grid over N configurations and N
+// independent Caches built from the same configurations are driven by
+// identical randomized trace chunks, and every configuration's
+// statistics — hits, misses, read/write splits, evictions, writebacks,
+// fills — must match bit-for-bit.  The config list covers every
+// placement family (including the generic interface-dispatch fallback),
+// every replacement policy, both write modes, associativities from
+// direct-mapped to fully-associative, and a mixed-block-size grid that
+// forces the non-uniform pre-split path.
+
+// diffConfigs is the differential-test configuration cross-product:
+// engineConfigs' schemes × policies × write modes matrix plus geometry
+// extremes the 2-way matrix misses.
+func diffConfigs(t *testing.T) []Config {
+	t.Helper()
+	cfgs := engineConfigs(t)
+	extra := []Config{
+		// Direct-mapped, the degenerate no-policy geometry.
+		{Name: "dm", Size: 64 * 32, BlockSize: 32, Ways: 1, WriteAllocate: true},
+		// 4-way I-Poly skewed LRU.
+		{Name: "ipoly-sk4", Size: 64 * 32 * 4, BlockSize: 32, Ways: 4,
+			Placement: index.NewIPolyDefault(4, 6, 14), Seed: 9},
+		// 4-way PLRU.
+		{Name: "plru4", Size: 64 * 32 * 4, BlockSize: 32, Ways: 4, Replacement: PLRU},
+		// Fully associative.
+		{Name: "fa", Size: 32 * 32, BlockSize: 32, Ways: 32, Placement: index.Single{}},
+		// Random replacement at 4 ways (distinct RNG consumption pattern).
+		{Name: "rand4", Size: 64 * 32 * 4, BlockSize: 32, Ways: 4, Replacement: Random,
+			Seed: 1234, WriteBack: true, WriteAllocate: true},
+	}
+	return append(cfgs, extra...)
+}
+
+// diffChunk fills recs with a randomized load/store/non-memory mix.
+func diffChunk(r *rng.RNG, n int, span int) []trace.Rec {
+	recs := make([]trace.Rec, n)
+	for i := range recs {
+		switch {
+		case r.Bool(0.15):
+			recs[i] = trace.Rec{Op: trace.OpIntALU}
+		case r.Bool(0.3):
+			recs[i] = trace.Rec{Op: trace.OpStore, Addr: uint64(r.Intn(span))}
+		default:
+			recs[i] = trace.Rec{Op: trace.OpLoad, Addr: uint64(r.Intn(span))}
+		}
+	}
+	return recs
+}
+
+// driveDiff replays chunks through a grid and the per-config reference
+// caches, comparing statistics after every chunk.
+func driveDiff(t *testing.T, cfgs []Config, seed uint64, chunks, maxChunk, span int) {
+	t.Helper()
+	g := NewGrid(GridSpec(cfgs))
+	refs := make([]*Cache, len(cfgs))
+	for i, cfg := range cfgs {
+		refs[i] = New(cfg)
+	}
+	r := rng.New(seed)
+	for c := 0; c < chunks; c++ {
+		recs := diffChunk(r, 1+r.Intn(maxChunk), span)
+		gn := g.AccessStream(recs)
+		var rn uint64
+		for _, ref := range refs {
+			rn = ref.AccessStream(recs)
+		}
+		if gn != rn {
+			t.Fatalf("chunk %d: grid processed %d records, caches %d", c, gn, rn)
+		}
+		for k, ref := range refs {
+			if g.StatsAt(k) != ref.Stats() {
+				t.Fatalf("chunk %d, config %d (%s/%s): stats diverged\ngrid  %+v\ncache %+v",
+					c, k, cfgs[k].Name, cfgs[k].Replacement, g.StatsAt(k), ref.Stats())
+			}
+		}
+	}
+}
+
+// TestGridMatchesCaches is the differential centerpiece: the grid and N
+// independent caches must agree bit-for-bit over randomized trace
+// chunks, across several seeds and address mixes.
+func TestGridMatchesCaches(t *testing.T) {
+	cfgs := diffConfigs(t)
+	mixes := []struct {
+		seed uint64
+		span int
+	}{{3, 16 << 10}, {17, 64 << 10}, {99, 1 << 20}}
+	for _, m := range mixes {
+		t.Run(fmt.Sprintf("seed=%d/span=%d", m.seed, m.span), func(t *testing.T) {
+			driveDiff(t, cfgs, m.seed, 40, 700, m.span)
+		})
+	}
+}
+
+// TestGridMixedBlockSizes drives a grid whose points disagree on block
+// size, so the pre-split must deliver raw addresses and each point
+// shifts for itself.
+func TestGridMixedBlockSizes(t *testing.T) {
+	cfgs := []Config{
+		{Name: "b32", Size: 8 << 10, BlockSize: 32, Ways: 2, WriteAllocate: true},
+		{Name: "b64", Size: 8 << 10, BlockSize: 64, Ways: 2, WriteBack: true, WriteAllocate: true},
+		{Name: "b16", Size: 4 << 10, BlockSize: 16, Ways: 4,
+			Placement: index.NewIPolyDefault(4, 6, 14)},
+	}
+	driveDiff(t, cfgs, 5, 30, 500, 64<<10)
+}
+
+// TestGridStatsOrder checks that Stats() reports points in spec order
+// and agrees with StatsAt.
+func TestGridStatsOrder(t *testing.T) {
+	cfgs := []Config{
+		{Size: 4 << 10, BlockSize: 32, Ways: 1},
+		{Size: 8 << 10, BlockSize: 32, Ways: 2},
+	}
+	g := NewGrid(GridSpec(cfgs))
+	g.AccessStream(diffChunk(rng.New(1), 2000, 32<<10))
+	all := g.Stats()
+	if len(all) != g.Len() || g.Len() != len(cfgs) {
+		t.Fatalf("Stats() returned %d entries for %d points", len(all), g.Len())
+	}
+	for k := range cfgs {
+		if all[k] != g.StatsAt(k) {
+			t.Errorf("point %d: Stats()[k] %+v != StatsAt(k) %+v", k, all[k], g.StatsAt(k))
+		}
+	}
+	if all[0] == all[1] {
+		t.Error("distinct geometries produced identical stats; workload too easy")
+	}
+	if g.Config(1).Size != 8<<10 {
+		t.Errorf("Config(1).Size = %d", g.Config(1).Size)
+	}
+}

@@ -107,47 +107,93 @@ func fig1Stride(place index.Placement, stride uint64, rounds int, recs []trace.R
 	return c.Stats().MissRatio(), recs
 }
 
-// fig1Chunk is the stride-sweep job granularity: big enough that cache
+// fig1Chunk is the stride-sweep job granularity: big enough that grid
 // construction amortises, small enough that a 4-worker pool stays busy
-// on the full 1..4095 sweep (4 schemes × 16 chunks).
+// on the full 1..4095 sweep (16 chunks, each advancing all 4 schemes).
 const fig1Chunk = 256
 
-// fig1Partial is one job's contribution: a chunk of one scheme's sweep.
-type fig1Partial struct {
-	scheme index.Scheme
-	hist   *stats.Histogram
-	patho  int
+// fig1Spec builds the four schemes' 8 KB 2-way configurations in
+// fig1Schemes presentation order, as a single-pass grid spec.
+func fig1Spec() cache.GridSpec {
+	schemes := fig1Schemes()
+	spec := make(cache.GridSpec, len(schemes))
+	for k, s := range schemes {
+		spec[k] = cache.Config{
+			Size: 8 << 10, BlockSize: 32, Ways: 2,
+			Placement: fig1Placement(s), WriteAllocate: false,
+		}
+	}
+	return spec
 }
 
-// fig1Jobs decomposes the sweep into scheme × stride-chunk jobs.
+// fig1GridStride measures one stride's miss ratio under every scheme in
+// one pass: the kernel's records are materialized once into recs (a
+// reusable scratch buffer, grown as needed) and replayed through the
+// reset grid, so the per-stride trace is generated once instead of once
+// per scheme.  The warm-up round is excluded from the measured ratios.
+func fig1GridStride(g *cache.Grid, stride uint64, rounds int, mrs []float64, recs []trace.Rec) []trace.Rec {
+	const elems = 64
+	g.Reset()
+	ss := workload.NewStrideStream(0, stride*8, elems, rounds)
+	if total := ss.Total(); cap(recs) < total {
+		recs = make([]trace.Rec, total)
+	} else {
+		recs = recs[:total]
+	}
+	n, _ := ss.ReadChunk(recs)
+	recs = recs[:n]
+	g.AccessStream(recs[:elems])
+	g.ResetStats()
+	g.AccessStream(recs[elems:])
+	for k := range mrs {
+		mrs[k] = g.StatsAt(k).MissRatio()
+	}
+	return recs
+}
+
+// fig1Partial is one job's contribution: a chunk of strides, every
+// scheme, in fig1Schemes order.
+type fig1Partial struct {
+	hists []*stats.Histogram
+	patho []int
+}
+
+// fig1Jobs decomposes the sweep into stride-chunk jobs; each job drives
+// all four schemes through one grid, one kernel materialization per
+// stride.
 func fig1Jobs(cfg Fig1Config) []runner.JobOf[fig1Partial] {
+	spec := fig1Spec()
+	nsch := len(spec)
 	var jobs []runner.JobOf[fig1Partial]
-	for _, scheme := range fig1Schemes() {
-		place := fig1Placement(scheme)
-		for lo := 1; lo < cfg.MaxStride; lo += fig1Chunk {
-			hi := lo + fig1Chunk
-			if hi > cfg.MaxStride {
-				hi = cfg.MaxStride
-			}
-			jobs = append(jobs, runner.KeyedJob(
-				fmt.Sprintf("fig1/%s/strides=%d-%d", scheme, lo, hi-1),
-				func(c *runner.Ctx) (fig1Partial, error) {
-					p := fig1Partial{scheme: scheme, hist: stats.NewHistogram(10)}
-					var recs []trace.Rec
-					for s := lo; s < hi; s++ {
-						if c.Err() != nil {
-							return p, c.Err()
-						}
-						var mr float64
-						mr, recs = fig1Stride(place, uint64(s), cfg.Rounds, recs)
-						p.hist.Add(mr)
+	for lo := 1; lo < cfg.MaxStride; lo += fig1Chunk {
+		hi := lo + fig1Chunk
+		if hi > cfg.MaxStride {
+			hi = cfg.MaxStride
+		}
+		jobs = append(jobs, runner.KeyedJob(
+			fmt.Sprintf("fig1/strides=%d-%d", lo, hi-1),
+			func(c *runner.Ctx) (fig1Partial, error) {
+				p := fig1Partial{hists: make([]*stats.Histogram, nsch), patho: make([]int, nsch)}
+				for k := range p.hists {
+					p.hists[k] = stats.NewHistogram(10)
+				}
+				g := cache.NewGrid(spec)
+				mrs := make([]float64, nsch)
+				var recs []trace.Rec
+				for s := lo; s < hi; s++ {
+					if c.Err() != nil {
+						return p, c.Err()
+					}
+					recs = fig1GridStride(g, uint64(s), cfg.Rounds, mrs, recs)
+					for k, mr := range mrs {
+						p.hists[k].Add(mr)
 						if mr > 0.5 {
-							p.patho++
+							p.patho[k]++
 						}
 					}
-					return p, nil
-				}))
-		}
+				}
+				return p, nil
+			}))
 	}
 	return jobs
 }
@@ -167,13 +213,16 @@ func RunFig1Ctx(ctx context.Context, cfg Fig1Config) (Fig1Result, error) {
 	if err != nil {
 		return res, err
 	}
+	schemes := fig1Schemes()
 	for _, p := range parts {
-		if h, ok := res.Histograms[p.scheme]; ok {
-			h.Merge(p.hist)
-		} else {
-			res.Histograms[p.scheme] = p.hist
+		for k, scheme := range schemes {
+			if h, ok := res.Histograms[scheme]; ok {
+				h.Merge(p.hists[k])
+			} else {
+				res.Histograms[scheme] = p.hists[k]
+			}
+			res.Pathological[scheme] += p.patho[k]
 		}
-		res.Pathological[p.scheme] += p.patho
 	}
 	return res, nil
 }

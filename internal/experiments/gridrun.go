@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"context"
+
+	"repro/internal/cache"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// runGrid is the single-pass replay harness behind the grid-shaped
+// drivers: it streams one benchmark's memory trace exactly once, in
+// bounded chunks from the memoized store, through a cache.Grid (when
+// non-nil) plus any number of auxiliary chunk consumers (composite
+// organizations — victim caches, column-associative caches, two-level
+// hierarchies — that a flat Grid cannot subsume).  Every consumer sees
+// the records in order, so results are bit-identical to independent
+// full-trace replays, while the driver pays one trace pass per
+// benchmark instead of one per design point.
+func runGrid(ctx context.Context, prof workload.Profile, seed, max uint64,
+	g *cache.Grid, aux ...func(recs []trace.Rec)) error {
+	return forEachMemChunk(ctx, prof, seed, max, func(recs []trace.Rec) {
+		if g != nil {
+			g.AccessStream(recs)
+		}
+		for _, fn := range aux {
+			fn(recs)
+		}
+	})
+}

@@ -29,9 +29,10 @@ func newColAssocForExperiment() *cache.ColumnAssociative {
 	return cache.NewColumnAssociative(8<<10, 32, gf2.Irreducibles(8, 1)[0], 19)
 }
 
-// newDMForExperiment builds a plain direct-mapped baseline.
-func newDMForExperiment() *cache.Cache {
-	return cache.New(cache.Config{Size: 8 << 10, BlockSize: 32, Ways: 1, WriteAllocate: false})
+// newDMConfigForExperiment is the plain direct-mapped baseline
+// configuration (a grid point in the drivers that compare against it).
+func newDMConfigForExperiment() cache.Config {
+	return cache.Config{Size: 8 << 10, BlockSize: 32, Ways: 1, WriteAllocate: false}
 }
 
 // memTraces is the memoized trace store behind forEachMemChunk.  It is

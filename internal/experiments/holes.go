@@ -132,8 +132,11 @@ func RunHolesCtx(ctx context.Context, cfg HolesConfig) (HolesResult, error) {
 					},
 					ScrambleSeed: cfg.Seed,
 				}
+				// The two-level hierarchy is a composite structure a flat
+				// Grid cannot subsume; it rides the single-pass harness as
+				// an auxiliary consumer (one trace pass per benchmark).
 				h := hierarchy.New(hcfg)
-				err := forEachMemChunk(c, prof, cfg.Seed, cfg.Instructions, func(recs []trace.Rec) {
+				err := runGrid(c, prof, cfg.Seed, cfg.Instructions, nil, func(recs []trace.Rec) {
 					for i := range recs {
 						h.Access(recs[i].Addr, recs[i].Op == trace.OpStore)
 					}

@@ -40,87 +40,74 @@ type OrgResult struct {
 	Avg []float64
 }
 
-// orgRunner abstracts the different cache structures over the batched
-// replay path.
-type orgRunner interface {
-	replay(recs []trace.Rec)
-	missRatio() float64
-}
-
-type basicOrg struct{ c *cache.Cache }
-
-func (b basicOrg) replay(recs []trace.Rec) { b.c.AccessStream(recs) }
-func (b basicOrg) missRatio() float64      { return b.c.Stats().ReadMissRatio() }
-
-type victimOrg struct{ v *cache.VictimCache }
-
-func (o victimOrg) replay(recs []trace.Rec) { o.v.AccessStream(recs) }
-func (o victimOrg) missRatio() float64      { return o.v.Stats().ReadMissRatio() }
-
-type colOrg struct{ c *cache.ColumnAssociative }
-
-func (o colOrg) replay(recs []trace.Rec) { o.c.AccessStream(recs) }
-func (o colOrg) missRatio() float64      { return o.c.Stats().ReadMissRatio() }
-
-// newOrgs builds the contestants, all 8 KB with 32-byte lines.
-func newOrgs() (names []string, make8K func() []orgRunner) {
-	names = []string{
+// orgNames lists the contestants in presentation order.  The flat-cache
+// organizations are grid points; victim(4) and column-assoc are
+// composite structures a Grid cannot subsume and replay as auxiliary
+// consumers of the same single trace pass.
+func orgNames() []string {
+	return []string{
 		"direct-mapped", "2-way", "2-way skewed-Hx", "2-way shuffle-Hx2", "victim(4)",
 		"column-assoc", "2-way I-Poly-Sk", "fully-assoc",
 	}
-	make8K = func() []orgRunner {
-		base := func(ways int, p index.Placement) *cache.Cache {
-			return cache.New(cache.Config{
-				Size: 8 << 10, BlockSize: 32, Ways: ways,
-				Placement: p, WriteAllocate: false,
-			})
-		}
-		return []orgRunner{
-			basicOrg{base(1, nil)},
-			basicOrg{base(2, nil)},
-			basicOrg{base(2, index.NewXORFold(setBits8K, true))},
-			basicOrg{base(2, index.NewXORShuffle(setBits8K))},
-			victimOrg{cache.NewVictimCache(cache.Config{
-				Size: 8 << 10, BlockSize: 32, Ways: 1, WriteAllocate: false,
-			}, 4)},
-			colOrg{cache.NewColumnAssociative(8<<10, 32, gf2.Irreducibles(8, 1)[0], 19)},
-			basicOrg{base(2, index.MustNew(index.SchemeIPolySk, setBits8K, 2, hashInBits))},
-			basicOrg{base(256, index.Single{})},
+}
+
+// orgSpec builds the flat-cache contestants as a grid spec, all 8 KB
+// with 32-byte lines, and the mapping from presentation index to grid
+// point (-1 for the composite organizations).
+func orgSpec() (spec cache.GridSpec, gridIdx []int) {
+	base := func(ways int, p index.Placement) cache.Config {
+		return cache.Config{
+			Size: 8 << 10, BlockSize: 32, Ways: ways,
+			Placement: p, WriteAllocate: false,
 		}
 	}
-	return names, make8K
+	spec = cache.GridSpec{
+		base(1, nil),
+		base(2, nil),
+		base(2, index.NewXORFold(setBits8K, true)),
+		base(2, index.NewXORShuffle(setBits8K)),
+		base(2, index.MustNew(index.SchemeIPolySk, setBits8K, 2, hashInBits)),
+		base(256, index.Single{}),
+	}
+	gridIdx = []int{0, 1, 2, 3, -1, -1, 4, 5}
+	return spec, gridIdx
 }
 
 // RunOrgsCtx runs the comparison on the parallel engine, one job per
-// benchmark (each job replays its trace through all organizations at
-// once, preserving the serial driver's single-pass structure).
+// benchmark: the flat organizations advance together inside a
+// cache.Grid and the composite ones ride the same pass as auxiliary
+// replays, so each benchmark's trace is streamed exactly once.
 func RunOrgsCtx(ctx context.Context, cfg OrgsConfig) (OrgResult, error) {
 	cfg = cfg.normalize()
-	names, mk := newOrgs()
+	names := orgNames()
+	spec, gridIdx := orgSpec()
 	res := OrgResult{Orgs: names}
 	suite := workload.Suite()
 	jobs := make([]runner.JobOf[[]float64], len(suite))
 	for i, prof := range suite {
 		jobs[i] = runner.KeyedJob("missratio/orgs/"+prof.Name,
 			func(c *runner.Ctx) ([]float64, error) {
-				// The organizations are independent, so the trace is
-				// streamed in bounded chunks and batch-replayed through
-				// each in turn — per-organization results are identical to
-				// the old record-interleaved pass, without its dispatch
-				// overhead and without materializing the whole trace.
-				orgs := mk()
-				err := forEachMemChunk(c, prof, cfg.Seed, cfg.Instructions,
-					func(recs []trace.Rec) {
-						for _, org := range orgs {
-							org.replay(recs)
-						}
-					})
+				g := cache.NewGrid(spec)
+				vic := cache.NewVictimCache(cache.Config{
+					Size: 8 << 10, BlockSize: 32, Ways: 1, WriteAllocate: false,
+				}, 4)
+				col := cache.NewColumnAssociative(8<<10, 32, gf2.Irreducibles(8, 1)[0], 19)
+				err := runGrid(c, prof, cfg.Seed, cfg.Instructions, g,
+					func(recs []trace.Rec) { vic.AccessStream(recs) },
+					func(recs []trace.Rec) { col.AccessStream(recs) })
 				if err != nil {
 					return nil, err
 				}
-				row := make([]float64, len(orgs))
-				for i, org := range orgs {
-					row[i] = 100 * org.missRatio()
+				row := make([]float64, len(names))
+				for o := range names {
+					switch {
+					case gridIdx[o] >= 0:
+						row[o] = 100 * g.StatsAt(gridIdx[o]).ReadMissRatio()
+					case names[o] == "victim(4)":
+						row[o] = 100 * vic.Stats().ReadMissRatio()
+					default: // column-assoc
+						row[o] = 100 * col.Stats().ReadMissRatio()
+					}
 				}
 				return row, nil
 			})
@@ -206,34 +193,30 @@ type StdDevResult struct {
 }
 
 // RunStdDevCtx measures per-benchmark 8 KB 2-way miss ratios under both
-// indexings on the parallel engine, one job per benchmark, and
-// summarises their spread.
+// indexings on the parallel engine — a 2-point grid per benchmark, one
+// trace pass advancing both — and summarises their spread.
 func RunStdDevCtx(ctx context.Context, cfg StdDevConfig) (StdDevResult, error) {
 	cfg = cfg.normalize()
 	var res StdDevResult
+	spec := cache.GridSpec{
+		{Size: 8 << 10, BlockSize: 32, Ways: 2, WriteAllocate: false},
+		{Size: 8 << 10, BlockSize: 32, Ways: 2,
+			Placement:     index.MustNew(index.SchemeIPolySk, setBits8K, 2, hashInBits),
+			WriteAllocate: false},
+	}
 	suite := workload.Suite()
 	type pair struct{ conv, ipoly float64 }
 	jobs := make([]runner.JobOf[pair], len(suite))
 	for i, prof := range suite {
 		jobs[i] = runner.KeyedJob("missratio/stddev/"+prof.Name,
 			func(c *runner.Ctx) (pair, error) {
-				conv := cache.New(cache.Config{Size: 8 << 10, BlockSize: 32, Ways: 2, WriteAllocate: false})
-				ip := cache.New(cache.Config{
-					Size: 8 << 10, BlockSize: 32, Ways: 2,
-					Placement:     index.MustNew(index.SchemeIPolySk, setBits8K, 2, hashInBits),
-					WriteAllocate: false,
-				})
-				err := forEachMemChunk(c, prof, cfg.Seed, cfg.Instructions,
-					func(recs []trace.Rec) {
-						conv.AccessStream(recs)
-						ip.AccessStream(recs)
-					})
-				if err != nil {
+				g := cache.NewGrid(spec)
+				if err := runGrid(c, prof, cfg.Seed, cfg.Instructions, g); err != nil {
 					return pair{}, err
 				}
 				return pair{
-					conv:  100 * conv.Stats().ReadMissRatio(),
-					ipoly: 100 * ip.Stats().ReadMissRatio(),
+					conv:  100 * g.StatsAt(0).ReadMissRatio(),
+					ipoly: 100 * g.StatsAt(1).ReadMissRatio(),
 				}, nil
 			})
 	}

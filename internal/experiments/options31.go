@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 
+	"repro/internal/cache"
 	"repro/internal/cpu"
 	"repro/internal/exp"
 	"repro/internal/index"
@@ -55,11 +56,10 @@ func RunOptions31Ctx(ctx context.Context, cfg Options31Config) (Options31Result,
 	ipoly := index.MustNew(index.SchemeIPolySk, setBits8K, 2, hashInBits)
 	bad := workload.BadPrograms()
 
-	// Option grid 1: IPC-level simulations (baseline, option 1, option 3)
-	// plus the option-2 adaptive miss ratios — every job yields a single
-	// float64, sliced positionally per option below.  The grid-2
-	// column-associative jobs ride on the same pool run, so workers never
-	// idle between the two grids.
+	// IPC-level simulations (baseline, option 1, option 3): every job
+	// yields a single float64, sliced positionally per option below.
+	// These consume the full instruction trace through the CPU model, so
+	// they cannot share the memory-trace pass.
 	ipcJob := func(opt string, name string, coreCfg cpu.Config) runner.Job {
 		prof, _ := workload.ByName(name)
 		return runner.Job{
@@ -67,33 +67,6 @@ func RunOptions31Ctx(ctx context.Context, cfg Options31Config) (Options31Result,
 			Run: func(*runner.Ctx) (any, error) {
 				r := cpu.New(coreCfg).Run(limitedSource(prof, cfg.Seed, cfg.Instructions), cfg.Instructions)
 				return r.IPC(), nil
-			}}
-	}
-	adaptiveJob := func(name string, largePages bool) runner.Job {
-		prof, _ := workload.ByName(name)
-		pages := "small"
-		if largePages {
-			pages = "large"
-		}
-		return runner.Job{
-			Key: "options31/adaptive-" + pages + "/" + name,
-			Run: func(c *runner.Ctx) (any, error) {
-				a := newAdaptiveForExperiment()
-				if largePages {
-					a.SetSegment("data", 256<<10)
-				} else {
-					a.SetSegment("data", 4<<10)
-				}
-				err := forEachMemChunk(c, prof, cfg.Seed, cfg.Instructions, func(recs []trace.Rec) {
-					for i := range recs {
-						a.Access(recs[i].Addr, recs[i].Op == trace.OpStore)
-					}
-				})
-				if err != nil {
-					return nil, err
-				}
-				st := a.Stats()
-				return 100 * stats.Ratio(st.ReadMisses, st.ReadHits+st.ReadMisses), nil
 			}}
 	}
 
@@ -109,33 +82,48 @@ func RunOptions31Ctx(ctx context.Context, cfg Options31Config) (Options31Result,
 	for _, name := range bad {
 		jobs = append(jobs, ipcJob("opt3-virtualreal", name, cpu.DefaultConfig(cpu.PaperCache(8<<10, ipoly))))
 	}
-	for _, name := range bad {
-		jobs = append(jobs, adaptiveJob(name, true))
-	}
-	for _, name := range bad {
-		jobs = append(jobs, adaptiveJob(name, false))
-	}
 
-	// Option grid 2: column-associative vs direct-mapped, one job per
-	// program, both caches sharing one trace replay.
-	type caPair struct{ col, dm float64 }
+	// Memory-trace simulations: options 2 (adaptive, both page sizes) and
+	// 4 (column-associative vs the direct-mapped baseline) for one
+	// program all ride one runGrid pass — the direct-mapped point is a
+	// 1-point grid, the composite structures are auxiliary consumers — so
+	// each program's memory trace is streamed exactly once.
+	type memCell struct{ aLarge, aSmall, col, dm float64 }
+	dmSpec := cache.GridSpec{newDMConfigForExperiment()}
 	for _, name := range bad {
 		prof, _ := workload.ByName(name)
 		jobs = append(jobs, runner.Job{
-			Key: "options31/opt4-colassoc/" + name,
+			Key: "options31/mem/" + name,
 			Run: func(c *runner.Ctx) (any, error) {
+				aLarge := newAdaptiveForExperiment()
+				aLarge.SetSegment("data", 256<<10)
+				aSmall := newAdaptiveForExperiment()
+				aSmall.SetSegment("data", 4<<10)
 				ca := newColAssocForExperiment()
-				plain := newDMForExperiment()
-				err := forEachMemChunk(c, prof, cfg.Seed, cfg.Instructions, func(recs []trace.Rec) {
-					ca.AccessStream(recs)
-					plain.AccessStream(recs)
-				})
+				g := cache.NewGrid(dmSpec)
+				err := runGrid(c, prof, cfg.Seed, cfg.Instructions, g,
+					func(recs []trace.Rec) {
+						for i := range recs {
+							aLarge.Access(recs[i].Addr, recs[i].Op == trace.OpStore)
+						}
+					},
+					func(recs []trace.Rec) {
+						for i := range recs {
+							aSmall.Access(recs[i].Addr, recs[i].Op == trace.OpStore)
+						}
+					},
+					func(recs []trace.Rec) { ca.AccessStream(recs) })
 				if err != nil {
 					return nil, err
 				}
-				return caPair{
-					col: 100 * ca.Stats().ReadMissRatio(),
-					dm:  100 * plain.Stats().ReadMissRatio(),
+				missPct := func(st cache.Stats) float64 {
+					return 100 * stats.Ratio(st.ReadMisses, st.ReadHits+st.ReadMisses)
+				}
+				return memCell{
+					aLarge: missPct(aLarge.Stats()),
+					aSmall: missPct(aSmall.Stats()),
+					col:    100 * ca.Stats().ReadMissRatio(),
+					dm:     100 * g.StatsAt(0).ReadMissRatio(),
 				}, nil
 			}})
 	}
@@ -145,21 +133,23 @@ func RunOptions31Ctx(ctx context.Context, cfg Options31Config) (Options31Result,
 		return res, err
 	}
 	n := len(bad)
-	vals := make([]float64, 5*n)
+	vals := make([]float64, 3*n)
 	for i := range vals {
 		vals[i] = results[i].Value.(float64)
 	}
 	res.ConvIPC = stats.GeoMean(vals[0:n])
 	res.Option1IPC = stats.GeoMean(vals[n : 2*n])
 	res.Option3IPC = stats.GeoMean(vals[2*n : 3*n])
-	res.Option2LargePagesMiss = stats.Mean(vals[3*n : 4*n])
-	res.Option2SmallPagesMiss = stats.Mean(vals[4*n : 5*n])
-	var col, dm []float64
-	for _, r := range results[5*n:] {
-		p := r.Value.(caPair)
+	var aLarge, aSmall, col, dm []float64
+	for _, r := range results[3*n:] {
+		p := r.Value.(memCell)
+		aLarge = append(aLarge, p.aLarge)
+		aSmall = append(aSmall, p.aSmall)
 		col = append(col, p.col)
 		dm = append(dm, p.dm)
 	}
+	res.Option2LargePagesMiss = stats.Mean(aLarge)
+	res.Option2SmallPagesMiss = stats.Mean(aSmall)
 	res.Option4Miss = stats.Mean(col)
 	res.DirectMappedMiss = stats.Mean(dm)
 	return res, nil

@@ -100,6 +100,56 @@ func TestExperimentsDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestGridDriversDeterministicAcrossWorkers pins the five grid-backed
+// drivers (sweep, missratio, stddev, options31, holes — fig1 is covered
+// by TestFig1ParallelMatchesSerial above) at 1, 4 and 16 workers:
+// shifting worker-level parallelism from per-config jobs to
+// per-benchmark grid jobs must leave every result byte-identical at any
+// worker count.
+func TestGridDriversDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run determinism sweep")
+	}
+	drivers := []struct {
+		name string
+		run  func(workers int) (any, error)
+	}{
+		{"sweep", func(w int) (any, error) {
+			return RunSweepCtx(context.Background(), SweepConfig{Base: tinyBase(w)})
+		}},
+		{"missratio", func(w int) (any, error) {
+			return RunOrgsCtx(context.Background(), OrgsConfig{Base: tinyBase(w)})
+		}},
+		{"stddev", func(w int) (any, error) {
+			return RunStdDevCtx(context.Background(), StdDevConfig{Base: tinyBase(w)})
+		}},
+		{"options31", func(w int) (any, error) {
+			return RunOptions31Ctx(context.Background(), Options31Config{Base: tinyBase(w)})
+		}},
+		{"holes", func(w int) (any, error) {
+			return RunHolesCtx(context.Background(), HolesConfig{Base: tinyBase(w)})
+		}},
+	}
+	for _, d := range drivers {
+		t.Run(d.name, func(t *testing.T) {
+			t.Parallel()
+			run := func(workers int) string {
+				res, err := d.run(workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return asJSON(t, res)
+			}
+			golden := run(1)
+			for _, workers := range []int{4, 16} {
+				if got := run(workers); got != golden {
+					t.Errorf("workers=%d output differs from workers=1", workers)
+				}
+			}
+		})
+	}
+}
+
 // TestFig1Cancellation checks that a cancelled context aborts the sweep
 // quickly and surfaces the cancellation.
 func TestFig1Cancellation(t *testing.T) {

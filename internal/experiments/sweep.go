@@ -10,7 +10,6 @@ import (
 	"repro/internal/index"
 	"repro/internal/runner"
 	"repro/internal/stats"
-	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -40,18 +39,52 @@ type SweepResult struct {
 	Miss [][][]float64
 }
 
+// sweepDims returns the sweep's design-space dimensions.
+func sweepDims() (sizesKB, ways []int, schemes []index.Scheme) {
+	return []int{4, 8, 16, 32}, []int{1, 2, 4},
+		[]index.Scheme{index.SchemeModulo, index.SchemeIPolySk}
+}
+
+// SweepGridSpec returns the sweep experiment's full design-space grid
+// spec.  BenchmarkGridVsSequential measures this exact spec, so the
+// recorded "sweep aggregate" speedup always describes the real sweep
+// shape.
+func SweepGridSpec() cache.GridSpec {
+	sizesKB, ways, schemes := sweepDims()
+	return sweepSpec(sizesKB, ways, schemes)
+}
+
+// sweepSpec builds the sweep's design-space grid spec in (size, ways,
+// scheme) row-major order: point (si, wi, ki) lives at index
+// (si*len(ways)+wi)*len(schemes)+ki.
+func sweepSpec(sizesKB, waysList []int, schemes []index.Scheme) cache.GridSpec {
+	spec := make(cache.GridSpec, 0, len(sizesKB)*len(waysList)*len(schemes))
+	for _, sizeKB := range sizesKB {
+		for _, ways := range waysList {
+			for _, scheme := range schemes {
+				sets := sizeKB << 10 / 32 / ways
+				setBits := bits.TrailingZeros(uint(sets))
+				place := index.MustNew(scheme, setBits, ways, hashInBits)
+				spec = append(spec, cache.Config{
+					Size: sizeKB << 10, BlockSize: 32, Ways: ways,
+					Placement: place, WriteAllocate: false,
+				})
+			}
+		}
+	}
+	return spec
+}
+
 // RunSweepCtx sweeps sizes {4,8,16,32} KB × ways {1,2,4} × schemes
 // {a2, a2-Hp-Sk} over the full suite on the parallel engine, one job
-// per benchmark: each job streams its memory trace once, in bounded
-// chunks, through every (size, ways, scheme) point, so the total work
-// matches the serial driver while the suite fans out across workers.
+// per benchmark: each job drives the whole 24-point design space
+// through a single-pass cache.Grid, so one trace replay per benchmark
+// advances every (size, ways, scheme) point at once.
 func RunSweepCtx(ctx context.Context, cfg SweepConfig) (SweepResult, error) {
 	cfg = cfg.normalize()
-	res := SweepResult{
-		SizesKB: []int{4, 8, 16, 32},
-		Ways:    []int{1, 2, 4},
-		Schemes: []index.Scheme{index.SchemeModulo, index.SchemeIPolySk},
-	}
+	var res SweepResult
+	res.SizesKB, res.Ways, res.Schemes = sweepDims()
+	spec := sweepSpec(res.SizesKB, res.Ways, res.Schemes)
 	suite := workload.Suite()
 	// benchGrid[s][w][k] is one benchmark's read miss % per design point.
 	type benchGrid [][][]float64
@@ -59,37 +92,8 @@ func RunSweepCtx(ctx context.Context, cfg SweepConfig) (SweepResult, error) {
 	for i, prof := range suite {
 		jobs[i] = runner.KeyedJob("sweep/"+prof.Name,
 			func(c *runner.Ctx) (benchGrid, error) {
-				// Build every design point's cache up front, then stream
-				// the trace once in bounded chunks through all of them:
-				// each cache sees the records in order, so results match a
-				// per-point full replay without holding the whole trace.
-				caches := make([][][]*cache.Cache, len(res.SizesKB))
-				for si, sizeKB := range res.SizesKB {
-					caches[si] = make([][]*cache.Cache, len(res.Ways))
-					for wi, ways := range res.Ways {
-						caches[si][wi] = make([]*cache.Cache, len(res.Schemes))
-						for ki, scheme := range res.Schemes {
-							sets := sizeKB << 10 / 32 / ways
-							setBits := bits.TrailingZeros(uint(sets))
-							place := index.MustNew(scheme, setBits, ways, hashInBits)
-							caches[si][wi][ki] = cache.New(cache.Config{
-								Size: sizeKB << 10, BlockSize: 32, Ways: ways,
-								Placement: place, WriteAllocate: false,
-							})
-						}
-					}
-				}
-				err := forEachMemChunk(c, prof, cfg.Seed, cfg.Instructions,
-					func(recs []trace.Rec) {
-						for _, perWays := range caches {
-							for _, perScheme := range perWays {
-								for _, cc := range perScheme {
-									cc.AccessStream(recs)
-								}
-							}
-						}
-					})
-				if err != nil {
+				g := cache.NewGrid(spec)
+				if err := runGrid(c, prof, cfg.Seed, cfg.Instructions, g); err != nil {
 					return nil, err
 				}
 				grid := make(benchGrid, len(res.SizesKB))
@@ -98,7 +102,8 @@ func RunSweepCtx(ctx context.Context, cfg SweepConfig) (SweepResult, error) {
 					for wi := range res.Ways {
 						grid[si][wi] = make([]float64, len(res.Schemes))
 						for ki := range res.Schemes {
-							grid[si][wi][ki] = 100 * caches[si][wi][ki].Stats().ReadMissRatio()
+							pt := (si*len(res.Ways)+wi)*len(res.Schemes) + ki
+							grid[si][wi][ki] = 100 * g.StatsAt(pt).ReadMissRatio()
 						}
 					}
 				}

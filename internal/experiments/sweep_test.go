@@ -1,11 +1,44 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
+	"repro/internal/cache"
 	"repro/internal/index"
+	"repro/internal/trace"
+	"repro/internal/workload"
 )
+
+// TestSweepGridMatchesPerConfig is the driver-level differential pin:
+// the sweep's 24-point single-pass grid must be bit-identical, counter
+// for counter, to 24 independent per-configuration trace passes through
+// the single-cache engine on a real benchmark trace.
+func TestSweepGridMatchesPerConfig(t *testing.T) {
+	spec := SweepGridSpec()
+	prof := workload.Suite()[0]
+	ctx := context.Background()
+	const instr, seed = 20_000, 7
+
+	g := cache.NewGrid(spec)
+	if err := runGrid(ctx, prof, seed, instr, g); err != nil {
+		t.Fatal(err)
+	}
+	for k, cfg := range spec {
+		c := cache.New(cfg)
+		err := forEachMemChunk(ctx, prof, seed, instr, func(recs []trace.Rec) {
+			c.AccessStream(recs)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.StatsAt(k) != c.Stats() {
+			t.Errorf("point %d (%dB %d-way %s): grid diverged from per-config pass\ngrid  %+v\ncache %+v",
+				k, cfg.Size, cfg.Ways, cfg.Placement, g.StatsAt(k), c.Stats())
+		}
+	}
+}
 
 func TestSweepShape(t *testing.T) {
 	cfg := SweepConfig{Base: smallBase()}

@@ -16,7 +16,7 @@ import (
 // alone one per design point.
 //
 // The test swaps in a private store (restored on exit) and runs the
-// five chunk-replay drivers back to back, mimicking `repro all`.
+// seven chunk-replay drivers back to back, mimicking `repro all`.
 func TestDriversShareOneGenerationPass(t *testing.T) {
 	saved := memTraces
 	memTraces = tracestore.New(tracestore.DefaultMaxBytes)
@@ -30,6 +30,8 @@ func TestDriversShareOneGenerationPass(t *testing.T) {
 		func() error { _, err := RunSweepCtx(ctx, SweepConfig{Base: b}); return err },
 		func() error { _, err := RunThreeCCtx(ctx, ThreeCConfig{Base: b}); return err },
 		func() error { _, err := RunColAssocCtx(ctx, ColAssocConfig{Base: b}); return err },
+		func() error { _, err := RunOptions31Ctx(ctx, Options31Config{Base: b}); return err },
+		func() error { _, err := RunHolesCtx(ctx, HolesConfig{Base: b}); return err },
 	} {
 		if err := run(); err != nil {
 			t.Fatal(err)
@@ -38,18 +40,60 @@ func TestDriversShareOneGenerationPass(t *testing.T) {
 
 	st := memTraces.Stats()
 	suite := uint64(len(workload.Suite()))
+	bad := uint64(len(workload.BadPrograms()))
 	if st.Generations != suite {
-		t.Errorf("five drivers cost %d generation passes, want %d (one per profile)",
+		t.Errorf("seven drivers cost %d generation passes, want %d (one per profile)",
 			st.Generations, suite)
 	}
 	if st.Streamed != 0 {
 		t.Errorf("streamed=%d, want 0 at this scale", st.Streamed)
 	}
-	// Every driver after the first is pure hits: orgs+stddev+sweep+
-	// colassoc touch each profile once, threec twice (two schemes).
-	wantTouches := uint64(6) * suite
+	// Every driver after the first is pure hits: orgs, stddev, sweep,
+	// colassoc and the holes suite touch each profile once, threec twice
+	// (two schemes), options31 once per bad program.
+	wantTouches := uint64(7)*suite + bad
 	if st.Hits+st.Misses != wantTouches {
 		t.Errorf("store saw %d touches (hits %d + misses %d), want %d",
 			st.Hits+st.Misses, st.Hits, st.Misses, wantTouches)
+	}
+}
+
+// TestGridDriversSingleTracePass pins the grid port's headline
+// invariant driver by driver: each grid-shaped experiment performs
+// exactly one store pass per benchmark — the whole design-space grid
+// (and any composite auxiliary structures) advances inside that single
+// replay.  A second pass per design point, per scheme or per page-size
+// variant shows up here as an exact touch-count mismatch.
+func TestGridDriversSingleTracePass(t *testing.T) {
+	saved := memTraces
+	defer func() { memTraces = saved }()
+
+	b := exp.Base{Instructions: 3_000, Seed: 7}
+	ctx := context.Background()
+	suite := uint64(len(workload.Suite()))
+	bad := uint64(len(workload.BadPrograms()))
+	cases := []struct {
+		name string
+		want uint64 // benchmarks the driver replays = exact store touches
+		run  func() error
+	}{
+		{"missratio", suite, func() error { _, err := RunOrgsCtx(ctx, OrgsConfig{Base: b}); return err }},
+		{"stddev", suite, func() error { _, err := RunStdDevCtx(ctx, StdDevConfig{Base: b}); return err }},
+		{"sweep", suite, func() error { _, err := RunSweepCtx(ctx, SweepConfig{Base: b}); return err }},
+		{"options31", bad, func() error { _, err := RunOptions31Ctx(ctx, Options31Config{Base: b}); return err }},
+		{"holes", suite, func() error { _, err := RunHolesCtx(ctx, HolesConfig{Base: b}); return err }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			memTraces = tracestore.New(tracestore.DefaultMaxBytes)
+			if err := tc.run(); err != nil {
+				t.Fatal(err)
+			}
+			st := memTraces.Stats()
+			if got := st.Hits + st.Misses; got != tc.want {
+				t.Errorf("%s performed %d trace passes (hits %d + misses %d), want exactly %d (one per benchmark)",
+					tc.name, got, st.Hits, st.Misses, tc.want)
+			}
+		})
 	}
 }
