@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-cache bench-trace bench-grid fuzz-smoke lint report ci
+.PHONY: build test race bench bench-smoke bench-cache bench-trace bench-grid bench-stackdist fuzz-smoke lint doccheck report ci
 
 build:
 	$(GO) build ./...
@@ -54,14 +54,31 @@ bench-grid:
 	$(GO) run ./cmd/benchjson -suite grid < bench_grid.txt > BENCH_grid.current.json
 	@cat BENCH_grid.current.json
 
-# Short native-fuzz smoke over the trace codec and the grid engine (one
-# target per invocation, as `go test -fuzz` requires).
+# Stack-distance engine benchmark: the single-pass all-sizes engine
+# against the explicit grid points it replaces, on the 48-point
+# conventional size sweep.  Same archival scheme as bench-cache:
+# BENCH_stackdist.current.json is gitignored, the committed
+# BENCH_stackdist.json is the curated before/after record.
+bench-stackdist:
+	$(GO) test -run '^$$' -bench 'BenchmarkStackDistVsGrid' -benchmem -benchtime 1s . > bench_stackdist.txt
+	$(GO) run ./cmd/benchjson -suite stackdist < bench_stackdist.txt > BENCH_stackdist.current.json
+	@cat BENCH_stackdist.current.json
+
+# Short native-fuzz smoke over the trace codec and the simulation
+# engines (one target per invocation, as `go test -fuzz` requires).
 fuzz-smoke:
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime 10s
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzReaderCorrupt -fuzztime 10s
 	$(GO) test ./internal/cache -run '^$$' -fuzz FuzzGridAccess -fuzztime 10s
+	$(GO) test ./internal/cache/stackdist -run '^$$' -fuzz FuzzEngineVsNaive -fuzztime 10s
 
-lint:
+# Documentation gate: every exported symbol in the library packages
+# carries a doc comment, and README <-> docs cross-links resolve.
+doccheck:
+	$(GO) run ./cmd/doccheck ./internal/... ./cmd/...
+	$(GO) run ./cmd/doccheck -links README.md docs/ARCHITECTURE.md
+
+lint: doccheck
 	$(GO) vet ./...
 	@diff=$$(gofmt -l .); if [ -n "$$diff" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$diff" >&2; exit 1; \

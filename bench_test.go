@@ -17,6 +17,7 @@ import (
 	"testing"
 
 	"repro/internal/cache"
+	"repro/internal/cache/stackdist"
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/cpu"
@@ -410,6 +411,106 @@ func BenchmarkGridVsSequential(b *testing.B) {
 			replay(b, func(recs []trace.Rec) { g.AccessStream(recs) })
 		}
 	})
+}
+
+// ---------------------------------------------------------------------------
+// Stack-distance engine benchmarks (make bench-stackdist -> BENCH_stackdist.json)
+// ---------------------------------------------------------------------------
+
+// stackDistSpace is the size sweep BenchmarkStackDistVsGrid collapses:
+// the conventional modulo family over the curves experiment's ladder —
+// 6 set counts x 8 associativities = 48 explicit (size, ways) design
+// points from 1 KB to 256 KB, or 6 stack-distance engines.
+func stackDistSpace() (setCounts []int, maxWays int) {
+	return []int{32, 64, 128, 256, 512, 1024}, 8
+}
+
+// stackDistGridSpec expands the stack-distance benchmark space into the
+// explicit per-point grid spec the engine replaces.
+func stackDistGridSpec() cache.GridSpec {
+	setCounts, maxWays := stackDistSpace()
+	var spec cache.GridSpec
+	for _, sets := range setCounts {
+		for w := 1; w <= maxWays; w++ {
+			spec = append(spec, cache.Config{
+				Size: sets * 32 * w, BlockSize: 32, Ways: w,
+				WriteAllocate: false,
+			})
+		}
+	}
+	return spec
+}
+
+// BenchmarkStackDistVsGrid measures the stack-distance engine against
+// the explicit-point shapes it replaces, on the miss-ratio-curve
+// aggregate (48 conventional design points spanning 1 KB - 256 KB over
+// one benchmark's 200k-record memory trace, served from the memoized
+// store):
+//
+//   - grid-points: one trace pass through a cache.Grid holding all 48
+//     explicit (size, ways) points — the best pre-stackdist shape;
+//   - stackdist: one trace pass through a 6-engine stackdist.Family —
+//     one truncated stack per set count, all 8 associativities read off
+//     each, the whole size dimension collapsed;
+//   - mattson: one trace pass through the unbounded fully-associative
+//     curve engine (every capacity at once), for scale.
+//
+// The acceptance bar for the stack-distance engine is >= 3x over
+// grid-points on this aggregate (results are bit-identical; see the
+// stackdist differential suite and TestCurvesMatchSweepCells).
+func BenchmarkStackDistVsGrid(b *testing.B) {
+	prof := mustProf(b, "gcc")
+	const nrecs = 200_000
+	const seed = 1997
+	store := tracestore.New(tracestore.DefaultMaxBytes)
+	ctx := context.Background()
+	// Materialize the packed trace outside the timed regions.
+	if err := store.ReplayMem(ctx, prof, seed, nrecs, func([]trace.Rec) {}); err != nil {
+		b.Fatal(err)
+	}
+	replay := func(b *testing.B, fn func(recs []trace.Rec)) {
+		b.Helper()
+		if err := store.ReplayMem(ctx, prof, seed, nrecs, fn); err != nil {
+			b.Fatal(err)
+		}
+	}
+	setCounts, maxWays := stackDistSpace()
+	spec := stackDistGridSpec()
+
+	b.Run("grid-points", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g := cache.NewGrid(spec)
+			replay(b, func(recs []trace.Rec) { g.AccessStream(recs) })
+		}
+	})
+	b.Run("stackdist", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fam := stackdist.NewFamily(index.SchemeModulo, setCounts, 32, maxWays, 14, false, false)
+			replay(b, func(recs []trace.Rec) { fam.AccessStream(recs) })
+		}
+	})
+	b.Run("mattson", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := stackdist.NewMattson(32)
+			replay(b, func(recs []trace.Rec) { m.AccessStream(recs) })
+		}
+	})
+}
+
+// BenchmarkCurvesExperiment regenerates the miss-ratio-curve experiment
+// (3 schemes x 6 set counts x 8 ways + the Mattson envelope, one trace
+// pass per benchmark) and reports a headline curve point.
+func BenchmarkCurvesExperiment(b *testing.B) {
+	cfg := experiments.CurvesConfig{Base: benchBase()}
+	for i := 0; i < b.N; i++ {
+		res := benchRun(b, experiments.RunCurvesCtx, cfg)
+		if v, ok := res.At(index.SchemeIPoly, 2, 128); ok {
+			b.ReportMetric(v, "miss%-8K2w-ipoly")
+		}
+	}
 }
 
 // ---------------------------------------------------------------------------

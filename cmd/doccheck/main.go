@@ -1,0 +1,270 @@
+// Command doccheck is the repository's documentation gate, run by
+// `make lint` and CI.  It has two modes:
+//
+// Symbol mode (default) parses the Go packages under the given paths
+// (a trailing /... walks recursively) and fails if any exported
+// package-level symbol — function, method on an exported type, type,
+// const or var — lacks a doc comment, or if a package has no package
+// comment.  It is a dependency-free stand-in for staticcheck's
+// exported-comment checks: the container this repo builds in has no
+// module proxy, so the gate is implemented on go/parser alone.
+//
+// Link mode (-links) reads the given markdown files, fails if any
+// relative link target does not exist, and — when more than one file is
+// given — requires the first file and each later file to reference each
+// other, pinning the README <-> docs/ARCHITECTURE.md cross-links.
+//
+// Usage:
+//
+//	go run ./cmd/doccheck ./internal/... ./cmd/...
+//	go run ./cmd/doccheck -links README.md docs/ARCHITECTURE.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	links := flag.Bool("links", false, "check markdown cross-links instead of Go doc comments")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "doccheck: no paths given")
+		os.Exit(2)
+	}
+	var problems []string
+	if *links {
+		problems = checkLinks(args)
+	} else {
+		problems = checkDocs(args)
+	}
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "doccheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// expandDirs resolves the path arguments into the set of directories to
+// parse: a plain path names one directory, a trailing /... walks it.
+func expandDirs(args []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, arg := range args {
+		recursive := false
+		if strings.HasSuffix(arg, "/...") {
+			recursive = true
+			arg = strings.TrimSuffix(arg, "/...")
+		}
+		arg = filepath.Clean(arg)
+		if !recursive {
+			add(arg)
+			continue
+		}
+		err := filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if name := d.Name(); name != arg && (strings.HasPrefix(name, ".") || name == "testdata") {
+					return filepath.SkipDir
+				}
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dirs, nil
+}
+
+// checkDocs parses every package under the argument paths and returns
+// one problem line per undocumented exported symbol or package.
+func checkDocs(args []string) []string {
+	dirs, err := expandDirs(args)
+	if err != nil {
+		return []string{fmt.Sprintf("doccheck: %v", err)}
+	}
+	var problems []string
+	for _, dir := range dirs {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: %v", dir, err))
+			continue
+		}
+		for name, pkg := range pkgs {
+			if strings.HasSuffix(name, "_test") {
+				continue
+			}
+			problems = append(problems, checkPackage(fset, dir, pkg)...)
+		}
+	}
+	return problems
+}
+
+// checkPackage checks one parsed package: a package comment somewhere,
+// and a doc comment on every exported top-level symbol.
+func checkPackage(fset *token.FileSet, dir string, pkg *ast.Package) []string {
+	var problems []string
+	hasPkgDoc := false
+	for _, f := range pkg.Files {
+		if f.Doc != nil {
+			hasPkgDoc = true
+		}
+	}
+	if !hasPkgDoc {
+		problems = append(problems, fmt.Sprintf("%s: package %s has no package comment", dir, pkg.Name))
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			problems = append(problems, checkDecl(fset, decl)...)
+		}
+	}
+	return problems
+}
+
+// checkDecl returns problems for one top-level declaration.
+func checkDecl(fset *token.FileSet, decl ast.Decl) []string {
+	var problems []string
+	bad := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		problems = append(problems, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, kind, name))
+	}
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || d.Doc != nil {
+			return nil
+		}
+		if recv := receiverTypeName(d); recv != "" && !ast.IsExported(recv) {
+			return nil // method on an unexported type: internal API
+		}
+		kind := "function"
+		name := d.Name.Name
+		if r := receiverTypeName(d); r != "" {
+			kind = "method"
+			name = r + "." + name
+		}
+		bad(d.Pos(), kind, name)
+	case *ast.GenDecl:
+		kind := map[token.Token]string{token.TYPE: "type", token.CONST: "const", token.VAR: "var"}[d.Tok]
+		if kind == "" {
+			return nil // imports
+		}
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+					bad(s.Pos(), kind, s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				// A doc comment on the grouped decl covers the whole
+				// block (the const-block idiom); otherwise each exported
+				// spec needs its own doc or trailing comment.
+				if d.Doc != nil {
+					continue
+				}
+				for _, n := range s.Names {
+					if n.IsExported() && s.Doc == nil && s.Comment == nil {
+						bad(n.Pos(), kind, n.Name)
+					}
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// receiverTypeName extracts the named receiver type of a method ("" for
+// plain functions).
+func receiverTypeName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return ""
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// mdLink matches inline markdown links; bare URLs and reference-style
+// links are out of scope for this gate.
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// checkLinks verifies that every relative link in the given markdown
+// files resolves, and that the first file and each later file link to
+// each other.
+func checkLinks(files []string) []string {
+	var problems []string
+	linksOf := make(map[string][]string)
+	for _, file := range files {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: %v", file, err))
+			continue
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(raw), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "#") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			target = strings.SplitN(target, "#", 2)[0]
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if strings.HasPrefix(resolved, "..") {
+				continue // escapes the repo (e.g. GitHub's ../../actions badge idiom)
+			}
+			linksOf[file] = append(linksOf[file], resolved)
+			if _, err := os.Stat(resolved); err != nil {
+				problems = append(problems, fmt.Sprintf("%s: broken link %s (%s)", file, m[1], resolved))
+			}
+		}
+	}
+	refs := func(from, to string) bool {
+		want := filepath.Clean(to)
+		for _, l := range linksOf[from] {
+			if filepath.Clean(l) == want {
+				return true
+			}
+		}
+		return false
+	}
+	for _, other := range files[1:] {
+		if !refs(files[0], other) {
+			problems = append(problems, fmt.Sprintf("%s: does not link to %s", files[0], other))
+		}
+		if !refs(other, files[0]) {
+			problems = append(problems, fmt.Sprintf("%s: does not link back to %s", other, files[0]))
+		}
+	}
+	return problems
+}

@@ -1,9 +1,10 @@
 // Command repro is the unified experiment runner for "The Design and
 // Performance of a Conflict-avoiding Cache" (MICRO-30, 1997).  Its
 // subcommands are generated from the experiment registry
-// (internal/exp): one per registered paper table/figure/study, executed
-// on a deterministic parallel sweep engine, plus the trace and
-// hardware-audit tools.
+// (internal/exp): one per registered experiment — each reproducing a
+// paper table, figure or miss-ratio curve study as a Report of tables
+// and series — executed on a deterministic parallel sweep engine, plus
+// the trace and hardware-audit tools.
 //
 // Usage:
 //

@@ -23,7 +23,6 @@ package cache
 import (
 	"math/bits"
 
-	"repro/internal/gf2"
 	"repro/internal/rng"
 	"repro/internal/trace"
 )
@@ -141,7 +140,7 @@ func NewGrid(spec GridSpec) *Grid {
 		if p.kind == pkIPoly {
 			p.ipolyTabs = make([][]uint32, cfg.Ways)
 			for w := 0; w < cfg.Ways; w++ {
-				p.ipolyTabs[w] = buildIPolyTables(p.mats[w])
+				p.ipolyTabs[w] = p.mats[w].ByteTables()
 			}
 			p.ipolyMask = ^uint64(0)
 			if in := p.mats[0].InputBits(); in < 64 {
@@ -363,20 +362,6 @@ func (g *Grid) replayDM(p *gridPoint, blks []uint64, wr []bool) {
 	}
 	p.stats = st
 	p.clock += uint64(len(blks))
-}
-
-// buildIPolyTables compiles a GF(2) bit matrix into 256-entry lookup
-// tables, one per input byte: linearity means the image of an address
-// is the XOR of the images of its bytes.
-func buildIPolyTables(m *gf2.BitMatrix) []uint32 {
-	ntab := (m.InputBits() + 7) / 8
-	tabs := make([]uint32, ntab*256)
-	for t := 0; t < ntab; t++ {
-		for v := 0; v < 256; v++ {
-			tabs[t<<8|v] = uint32(m.Apply(uint64(v) << uint(8*t)))
-		}
-	}
-	return tabs
 }
 
 // ipolyApply looks blk's set index up through way w's byte tables.

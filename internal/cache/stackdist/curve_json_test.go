@@ -1,0 +1,44 @@
+package stackdist
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestCurveJSONRoundTrip checks that a Curve survives JSON encoding
+// bit-exactly: Go's encoder emits shortest round-trip float forms, so
+// decoded percentages must equal the originals to the last bit.
+func TestCurveJSONRoundTrip(t *testing.T) {
+	orig := Curve{
+		Scheme:      "a2-Hp",
+		Ways:        2,
+		BlockSize:   32,
+		SizesBytes:  []int64{1 << 10, 8 << 10, 256 << 10},
+		ReadMissPct: []float64{26.80837839148969, math.Pi, 1e-17},
+		MissPct:     []float64{0.1 + 0.2, 100, 0},
+	}
+	raw, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Curve
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, back) {
+		t.Errorf("round trip not exact:\n orig %+v\n back %+v", orig, back)
+	}
+	// The schema's field names are part of the documented contract
+	// (README: Curve JSON schema).
+	var fields map[string]any
+	if err := json.Unmarshal(raw, &fields); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"scheme", "ways", "block_size", "sizes_bytes", "read_miss_pct", "miss_pct"} {
+		if _, ok := fields[k]; !ok {
+			t.Errorf("field %q missing from JSON encoding", k)
+		}
+	}
+}

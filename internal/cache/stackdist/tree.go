@@ -1,0 +1,30 @@
+package stackdist
+
+// fenwick is a binary indexed tree over [0, n) counting live time slots
+// — the order-statistic structure (Bennett & Kruskal) that turns "how
+// many distinct blocks were touched after slot p" into two O(log n)
+// prefix queries for the unbounded Mattson engine.
+type fenwick struct {
+	n int
+	t []int32
+}
+
+func newFenwick(n int) *fenwick {
+	return &fenwick{n: n, t: make([]int32, n+1)}
+}
+
+// add applies delta at slot i (0-based).
+func (f *fenwick) add(i int, delta int32) {
+	for i++; i <= f.n; i += i & -i {
+		f.t[i] += delta
+	}
+}
+
+// prefix returns the sum over slots [0, i] (0-based, inclusive).
+func (f *fenwick) prefix(i int) int32 {
+	var s int32
+	for i++; i > 0; i -= i & -i {
+		s += f.t[i]
+	}
+	return s
+}

@@ -113,6 +113,7 @@ func (r *Report) Int(table, rowKey, col string) (int64, bool) {
 // ColKind is a table column's cell type.
 type ColKind string
 
+// The three cell types a Column can carry.
 const (
 	ColString ColKind = "string"
 	ColFloat  ColKind = "float"

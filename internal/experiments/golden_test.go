@@ -105,6 +105,16 @@ func goldenValues(t *testing.T) map[string]string {
 	for _, name := range ca.Table("colassoc").Columns[0].Strings {
 		getF(ca, "colassoc/firstprobe/"+name, "colassoc", name, "first-probe hit rate")
 	}
+
+	cv := goldenReport(t, "curves", &CurvesConfig{Base: smallBase(), MaxWays: 4})
+	for _, scheme := range []string{"a2", "a2-Hx", "a2-Hp"} {
+		for _, w := range []int{1, 2, 4} {
+			getF(cv, fmt.Sprintf("curves/128sets/%s/w%d", scheme, w),
+				"curves", "128", fmt.Sprintf("%s w%d", scheme, w))
+		}
+	}
+	getF(cv, "curves/fa/8KB", "fa", "8KB", "load miss %")
+	getF(cv, "curves/fa/64KB", "fa", "64KB", "load miss %")
 	return vals
 }
 
@@ -142,9 +152,12 @@ func TestGoldenMissRatios(t *testing.T) {
 	}
 }
 
-// goldenTable pins 130 exact values.  It predates the registry redesign
-// (the values were first pinned against the pre-registry RunXxx
-// drivers), so a clean pass here proves the redesign output-preserving.
+// goldenTable pins 141 exact values.  It predates the registry redesign
+// and the stack-distance port (the values were first pinned against the
+// pre-registry RunXxx drivers, and the original 130 against explicit
+// per-configuration simulation), so a clean pass here proves both
+// redesigns output-preserving; the 11 curves/* entries pin the
+// stack-distance experiment itself.
 var goldenTable = map[string]string{
 	"colassoc/firstprobe/applu":    "0.96302164200386575",
 	"colassoc/firstprobe/apsi":     "0.99971402243335139",
@@ -164,6 +177,17 @@ var goldenTable = map[string]string{
 	"colassoc/firstprobe/turb3d":   "0.93924604510265908",
 	"colassoc/firstprobe/vortex":   "0.99496689535336591",
 	"colassoc/firstprobe/wave5":    "0.55149992021700978",
+	"curves/128sets/a2-Hp/w1":      "22.251672142906259",
+	"curves/128sets/a2-Hp/w2":      "11.014449783934985",
+	"curves/128sets/a2-Hp/w4":      "9.230905081125151",
+	"curves/128sets/a2-Hx/w1":      "22.15140386737378",
+	"curves/128sets/a2-Hx/w2":      "11.055145172990162",
+	"curves/128sets/a2-Hx/w4":      "9.2432344208017625",
+	"curves/128sets/a2/w1":         "26.808378391489693",
+	"curves/128sets/a2/w2":         "18.72810315364903",
+	"curves/128sets/a2/w4":         "15.761581847039233",
+	"curves/fa/64KB":               "7.4905057132421398",
+	"curves/fa/8KB":                "10.890242176237841",
 	"fig1/hist/a2":                 "511",
 	"fig1/hist/a2-Hp":              "511",
 	"fig1/hist/a2-Hp-Sk":           "511",

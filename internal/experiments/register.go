@@ -57,6 +57,8 @@ func init() {
 		DefaultColAssocConfig, ColAssocConfig.normalize, RunColAssocCtx, ColAssocResult.report)
 	register("options31", "§3.1: the four routes around minimum-page-size limits",
 		DefaultOptions31Config, Options31Config.normalize, RunOptions31Ctx, Options31Result.report)
+	register("curves", "whole miss-ratio curves per indexing scheme via stack distance",
+		DefaultCurvesConfig, CurvesConfig.normalize, RunCurvesCtx, CurvesResult.report)
 	register("sweep", "design-space sweep: size x ways x scheme miss-ratio grid",
 		DefaultSweepConfig, SweepConfig.normalize, RunSweepCtx, SweepResult.report)
 	register("threec", "3C miss classification per benchmark, conventional vs I-Poly",

@@ -4,14 +4,27 @@ import (
 	"context"
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"repro/internal/cache"
+	"repro/internal/cache/stackdist"
 	"repro/internal/exp"
 	"repro/internal/index"
 	"repro/internal/runner"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
+
+// indexOfScheme returns the position of scheme in schemes (-1 if absent).
+func indexOfScheme(schemes []index.Scheme, scheme index.Scheme) int {
+	for i, s := range schemes {
+		if s == scheme {
+			return i
+		}
+	}
+	return -1
+}
 
 // SweepConfig configures the design-space sweep.
 type SweepConfig struct {
@@ -45,13 +58,34 @@ func sweepDims() (sizesKB, ways []int, schemes []index.Scheme) {
 		[]index.Scheme{index.SchemeModulo, index.SchemeIPolySk}
 }
 
-// SweepGridSpec returns the sweep experiment's full design-space grid
-// spec.  BenchmarkGridVsSequential measures this exact spec, so the
-// recorded "sweep aggregate" speedup always describes the real sweep
-// shape.
+// SweepGridSpec returns the sweep's full design space as explicit grid
+// points — the shape the experiment simulated before the conventional
+// half moved onto stack-distance engines.  BenchmarkGridVsSequential
+// and BenchmarkStackDistVsGrid measure this exact spec, so the recorded
+// speedups always describe the real sweep shape.
 func SweepGridSpec() cache.GridSpec {
 	sizesKB, ways, schemes := sweepDims()
 	return sweepSpec(sizesKB, ways, schemes)
+}
+
+// sweepSetCounts returns the set-count ladder covering the sweep's
+// conventional half: every (size, ways) point maps to sets =
+// size/(blockSize*ways), so one stack-distance engine per set count
+// answers for every conventional design point at once.
+func sweepSetCounts(sizesKB, waysList []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, sizeKB := range sizesKB {
+		for _, ways := range waysList {
+			sets := sizeKB << 10 / 32 / ways
+			if !seen[sets] {
+				seen[sets] = true
+				out = append(out, sets)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
 }
 
 // sweepSpec builds the sweep's design-space grid spec in (size, ways,
@@ -77,14 +111,23 @@ func sweepSpec(sizesKB, waysList []int, schemes []index.Scheme) cache.GridSpec {
 
 // RunSweepCtx sweeps sizes {4,8,16,32} KB × ways {1,2,4} × schemes
 // {a2, a2-Hp-Sk} over the full suite on the parallel engine, one job
-// per benchmark: each job drives the whole 24-point design space
-// through a single-pass cache.Grid, so one trace replay per benchmark
-// advances every (size, ways, scheme) point at once.
+// per benchmark and one trace replay per job: the skewed I-Poly half
+// runs as explicit cache.Grid points while the whole conventional half
+// falls out of a stack-distance Family — one engine per set count,
+// every associativity read off each — riding the same pass.
 func RunSweepCtx(ctx context.Context, cfg SweepConfig) (SweepResult, error) {
 	cfg = cfg.normalize()
 	var res SweepResult
 	res.SizesKB, res.Ways, res.Schemes = sweepDims()
-	spec := sweepSpec(res.SizesKB, res.Ways, res.Schemes)
+	skewed := make([]index.Scheme, 0, 1)
+	for _, s := range res.Schemes {
+		if s != index.SchemeModulo {
+			skewed = append(skewed, s)
+		}
+	}
+	spec := sweepSpec(res.SizesKB, res.Ways, skewed)
+	setCounts := sweepSetCounts(res.SizesKB, res.Ways)
+	maxWays := res.Ways[len(res.Ways)-1]
 	suite := workload.Suite()
 	// benchGrid[s][w][k] is one benchmark's read miss % per design point.
 	type benchGrid [][][]float64
@@ -93,17 +136,31 @@ func RunSweepCtx(ctx context.Context, cfg SweepConfig) (SweepResult, error) {
 		jobs[i] = runner.KeyedJob("sweep/"+prof.Name,
 			func(c *runner.Ctx) (benchGrid, error) {
 				g := cache.NewGrid(spec)
-				if err := runGrid(c, prof, cfg.Seed, cfg.Instructions, g); err != nil {
+				fam := stackdist.NewFamily(index.SchemeModulo, setCounts, 32, maxWays, hashInBits, false, false)
+				err := runGrid(c, prof, cfg.Seed, cfg.Instructions, g,
+					func(recs []trace.Rec) { fam.AccessStream(recs) })
+				if err != nil {
 					return nil, err
 				}
+				bySets := make(map[int]*stackdist.Engine, len(setCounts))
+				for _, e := range fam.Engines() {
+					bySets[e.Sets()] = e
+				}
 				grid := make(benchGrid, len(res.SizesKB))
-				for si := range res.SizesKB {
+				for si, sizeKB := range res.SizesKB {
 					grid[si] = make([][]float64, len(res.Ways))
-					for wi := range res.Ways {
+					for wi, ways := range res.Ways {
 						grid[si][wi] = make([]float64, len(res.Schemes))
-						for ki := range res.Schemes {
-							pt := (si*len(res.Ways)+wi)*len(res.Schemes) + ki
-							grid[si][wi][ki] = 100 * g.StatsAt(pt).ReadMissRatio()
+						for ki, scheme := range res.Schemes {
+							var mr float64
+							if scheme == index.SchemeModulo {
+								e := bySets[sizeKB<<10/32/ways]
+								mr = 100 * e.StatsAt(ways).ReadMissRatio()
+							} else {
+								pt := (si*len(res.Ways)+wi)*len(skewed) + indexOfScheme(skewed, scheme)
+								mr = 100 * g.StatsAt(pt).ReadMissRatio()
+							}
+							grid[si][wi][ki] = mr
 						}
 					}
 				}
