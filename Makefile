@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-cache bench-trace bench-grid bench-stackdist fuzz-smoke lint doccheck report ci
+.PHONY: build test race bench bench-smoke bench-cache bench-trace bench-grid bench-stackdist bench-store fuzz-smoke lint doccheck report ci
 
 build:
 	$(GO) build ./...
@@ -12,7 +12,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/runner/... ./internal/cli/... ./internal/experiments/... ./internal/tracestore/...
+	$(GO) test -race ./internal/runner/... ./internal/cli/... ./internal/experiments/... ./internal/tracestore/... ./internal/store/... ./internal/exp/...
 
 # Full benchmark sweep (minutes).
 bench:
@@ -40,7 +40,7 @@ bench-cache:
 # before/after record.
 bench-trace:
 	$(GO) test -run '^$$' -bench 'BenchmarkGeneratorChunk|BenchmarkMemOnlyChunk|BenchmarkTraceStoreReplay|BenchmarkTraceCodecChunk|BenchmarkCPUSim' -benchmem -benchtime 1s . > bench_trace.txt
-	$(GO) test -run '^$$' -bench 'BenchmarkReproAll' -benchtime 1x . >> bench_trace.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkReproAll$$' -benchtime 1x . >> bench_trace.txt
 	$(GO) run ./cmd/benchjson -suite trace < bench_trace.txt > BENCH_trace.current.json
 	@cat BENCH_trace.current.json
 
@@ -63,6 +63,16 @@ bench-stackdist:
 	$(GO) test -run '^$$' -bench 'BenchmarkStackDistVsGrid' -benchmem -benchtime 1s . > bench_stackdist.txt
 	$(GO) run ./cmd/benchjson -suite stackdist < bench_stackdist.txt > BENCH_stackdist.current.json
 	@cat BENCH_stackdist.current.json
+
+# Artifact-store benchmark: the warm (fully cached) `repro all` against
+# the cold (empty store) run it short-circuits.  Same archival scheme as
+# bench-cache: BENCH_store.current.json is gitignored, the committed
+# BENCH_store.json is the curated before/after record (acceptance bar:
+# warm >= 5x faster than cold).
+bench-store:
+	$(GO) test -run '^$$' -bench 'BenchmarkReproAllStore' -benchtime 1x . > bench_store.txt
+	$(GO) run ./cmd/benchjson -suite store < bench_store.txt > BENCH_store.current.json
+	@cat BENCH_store.current.json
 
 # Short native-fuzz smoke over the trace codec and the simulation
 # engines (one target per invocation, as `go test -fuzz` requires).

@@ -13,6 +13,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"os"
 	"strings"
 	"testing"
 
@@ -617,14 +618,67 @@ func mustProf(b *testing.B, name string) workload.Profile {
 // BenchmarkReproAll is the end-to-end wall clock of `repro all` at a
 // reduced -instructions scale: every experiment driver, the parallel
 // runner and the memoized trace store together, via the real CLI entry
-// point.  Run with -benchtime 1x for the per-PR BENCH_trace.json record.
+// point (-no-cache: this measures fresh simulation, not the artifact
+// store).  Run with -benchtime 1x for the per-PR BENCH_trace.json
+// record.
 func BenchmarkReproAll(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		code := cli.Run(context.Background(),
-			[]string{"all", "-instructions", "20000", "-maxstride", "512"},
+			[]string{"all", "-instructions", "20000", "-maxstride", "512", "-no-cache"},
 			io.Discard, io.Discard)
 		if code != 0 {
 			b.Fatalf("repro all exited %d", code)
 		}
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Artifact-store benchmarks (make bench-store -> BENCH_store.json)
+// ---------------------------------------------------------------------------
+
+// reproAllCached runs one full `repro all` against the artifact store
+// at dir and fails the benchmark on a non-zero exit.
+func reproAllCached(b *testing.B, dir string) {
+	b.Helper()
+	code := cli.Run(context.Background(),
+		[]string{"all", "-instructions", "20000", "-maxstride", "512", "-cache-dir", dir},
+		io.Discard, io.Discard)
+	if code != 0 {
+		b.Fatalf("repro all exited %d", code)
+	}
+}
+
+// BenchmarkReproAllStore measures the incremental-`repro all` contract:
+//
+//   - cold: every iteration gets an empty store directory, so all
+//     thirteen experiments simulate (and persist their artifacts);
+//   - warm: the store is populated once outside the timed region, so
+//     every report is served by content hash — the only simulation left
+//     is the per-run integrity resample.
+//
+// The acceptance bar is warm >= 5x faster than cold.  Run with
+// -benchtime 1x for the per-PR BENCH_store.json record.
+func BenchmarkReproAllStore(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dir, err := os.MkdirTemp("", "repro-bench-store-")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			reproAllCached(b, dir)
+			b.StopTimer()
+			os.RemoveAll(dir)
+			b.StartTimer()
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		dir := b.TempDir()
+		reproAllCached(b, dir) // populate outside the timed region
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			reproAllCached(b, dir)
+		}
+	})
 }

@@ -1,0 +1,72 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"repro/internal/exp"
+	"repro/internal/store"
+	"repro/internal/tracestore"
+)
+
+// DefaultCacheDir is the default artifact-store directory, relative to
+// the working directory (it is gitignored at the repo root).
+const DefaultCacheDir = ".repro-cache"
+
+// cacheOptions carries the cache flags shared by every experiment
+// subcommand: where the content-addressed artifact store lives and
+// whether to bypass it entirely.
+type cacheOptions struct {
+	dir string
+	off bool
+}
+
+// addCacheFlags registers -cache-dir and -no-cache on fs.
+func addCacheFlags(fs *flag.FlagSet) *cacheOptions {
+	o := &cacheOptions{}
+	fs.StringVar(&o.dir, "cache-dir", DefaultCacheDir,
+		"artifact store directory for incremental runs (traces and reports)")
+	fs.BoolVar(&o.off, "no-cache", false,
+		"bypass the artifact store: simulate everything fresh and persist nothing")
+	return o
+}
+
+// open installs the content-addressed store behind both caching layers
+// — experiment reports (exp's result cache) and packed memory traces
+// (tracestore's persistent tier) — and returns the result cache plus a
+// teardown restoring the uncached process state.  With -no-cache, or
+// if the directory cannot be opened (reported as a warning: a broken
+// cache must never fail a run), it installs nothing and returns nil.
+func (o *cacheOptions) open(stderr io.Writer) (*exp.ResultCache, func()) {
+	if o.off {
+		return nil, func() {}
+	}
+	d, err := store.Open(o.dir, store.DefaultMaxBytes)
+	if err != nil {
+		fmt.Fprintf(stderr, "repro: cache disabled: %v\n", err)
+		return nil, func() {}
+	}
+	rc := exp.NewResultCache(d)
+	exp.SetCache(rc)
+	tracestore.Default.SetPersistent(d)
+	return rc, func() {
+		exp.SetCache(nil)
+		tracestore.Default.SetPersistent(nil)
+	}
+}
+
+// cacheStatsLine formats the end-of-run cache summary for stderr —
+// stderr so `repro all -json` stdout stays byte-identical cold vs warm.
+func cacheStatsLine(st exp.CacheStats) string {
+	line := fmt.Sprintf("repro all: cache %d hits, %d misses, %d stored", st.Hits, st.Misses, st.Writes)
+	switch {
+	case st.Resampled == "":
+		line += "; integrity resample: not cached"
+	case st.ResampleOK:
+		line += fmt.Sprintf("; integrity resample %s: ok", st.Resampled)
+	default:
+		line += fmt.Sprintf("; integrity resample %s: DIVERGED", st.Resampled)
+	}
+	return line
+}

@@ -1,0 +1,158 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/store"
+)
+
+// cachedFlags is tinyFlags with the artifact store enabled at dir
+// instead of disabled.
+func cachedFlags(dir string, extra ...string) []string {
+	return append([]string{
+		"-instructions", "4000", "-seed", "7", "-maxstride", "160", "-rounds", "5",
+		"-cache-dir", dir,
+	}, extra...)
+}
+
+// TestCacheWarmRunByteIdentical is the incremental-`repro all` headline:
+// a second run against a populated store emits a byte-identical JSON
+// envelope on stdout, serves every report from cache, and passes the
+// integrity resample.
+func TestCacheWarmRunByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full experiment suite twice")
+	}
+	dir := t.TempDir()
+
+	var cold, coldErr bytes.Buffer
+	if code := Run(context.Background(), append([]string{"all"}, cachedFlags(dir, "-json")...), &cold, &coldErr); code != 0 {
+		t.Fatalf("cold run exited %d: %s", code, coldErr.String())
+	}
+	if s := coldErr.String(); !strings.Contains(s, "0 hits") || !strings.Contains(s, "integrity resample: not cached") {
+		t.Errorf("cold stderr stats unexpected: %q", s)
+	}
+
+	var warm, warmErr bytes.Buffer
+	if code := Run(context.Background(), append([]string{"all"}, cachedFlags(dir, "-json")...), &warm, &warmErr); code != 0 {
+		t.Fatalf("warm run exited %d: %s", code, warmErr.String())
+	}
+	if !bytes.Equal(cold.Bytes(), warm.Bytes()) {
+		t.Errorf("warm envelope differs from cold (%d vs %d bytes)", warm.Len(), cold.Len())
+	}
+	// Seed 7 against the 13-experiment registry selects options31 for
+	// the resample; every report (including it) counts as a hit.
+	n := len(exp.All())
+	s := warmErr.String()
+	for _, want := range []string{
+		"cache 13 hits, 0 misses, 0 stored",
+		"integrity resample options31: ok",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("warm stderr missing %q (registry size %d): %q", want, n, s)
+		}
+	}
+}
+
+// TestCacheDivergenceInjection forges a wrong-but-well-formed cached
+// report at the resample target's exact address and checks the warm run
+// fails loudly instead of trusting it.  The store's own hashes verify
+// (the forgery went through Put), so only the resample can catch it.
+func TestCacheDivergenceInjection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full experiment suite twice")
+	}
+	dir := t.TempDir()
+	var cold, coldErr bytes.Buffer
+	if code := Run(context.Background(), append([]string{"all"}, cachedFlags(dir, "-json")...), &cold, &coldErr); code != 0 {
+		t.Fatalf("cold run exited %d: %s", code, coldErr.String())
+	}
+
+	// Reconstruct the resample target's content address the same way the
+	// cache does: its registered experiment plus the run's flag values.
+	e, ok := exp.Get("options31")
+	if !ok {
+		t.Fatal("options31 not registered")
+	}
+	cfg := e.New()
+	for _, p := range exp.ParamsOf(cfg) {
+		for name, v := range map[string]string{"instructions": "4000", "seed": "7"} {
+			if p.Name == name {
+				if err := p.Set(v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	key, err := exp.ReportKey(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := store.Open(dir, store.DefaultMaxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, ok := d.Get(exp.ReportKind, key, exp.ReportRev(e))
+	if !ok {
+		t.Fatal("cold run did not store the resample target (key derivation drifted?)")
+	}
+	var rep exp.Report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatal(err)
+	}
+	rep.Notes = append(rep.Notes, "forged") // plausible, decodes fine, wrong bytes
+	forged, err := json.Marshal(&rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put(exp.ReportKind, key, exp.ReportRev(e), nil, forged); err != nil {
+		t.Fatal(err)
+	}
+
+	var warm, warmErr bytes.Buffer
+	code := Run(context.Background(), append([]string{"all"}, cachedFlags(dir, "-json")...), &warm, &warmErr)
+	if code != 1 {
+		t.Fatalf("warm run over a forged cache exited %d, want 1: %s", code, warmErr.String())
+	}
+	s := warmErr.String()
+	for _, want := range []string{"integrity resample diverged", "DIVERGED"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("stderr missing %q: %q", want, s)
+		}
+	}
+}
+
+// TestNoCacheWritesNothing pins the -no-cache contract: no store
+// directory appears and no stats line is printed.
+func TestNoCacheWritesNothing(t *testing.T) {
+	dir := t.TempDir() + "/never-created"
+	var stdout, stderr bytes.Buffer
+	args := []string{"stddev", "-instructions", "4000", "-seed", "7", "-cache-dir", dir, "-no-cache"}
+	if code := Run(context.Background(), args, &stdout, &stderr); code != 0 {
+		t.Fatalf("exited %d: %s", code, stderr.String())
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Errorf("-no-cache still created %s", dir)
+	}
+}
+
+// TestSingleExperimentUsesCache checks oneMain participates in the same
+// store `repro all` populates: a cached run emits the same JSON.
+func TestSingleExperimentUsesCache(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"stddev", "-instructions", "4000", "-seed", "7", "-cache-dir", dir, "-json"}
+	cold := runCLI(t, args...)
+	warm := runCLI(t, args...)
+	if cold != warm {
+		t.Errorf("warm single-experiment output differs:\n--- cold\n%s\n--- warm\n%s", cold, warm)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Errorf("cache directory missing after cached run: %v", err)
+	}
+}

@@ -16,10 +16,13 @@ import (
 
 // tinyFlags keeps every experiment fast enough to run the full `all`
 // sweep several times.  The stride/rounds flags exist on the union flag
-// set of `repro all` (they fan out to fig1/interleave).
+// set of `repro all` (they fan out to fig1/interleave).  -no-cache
+// keeps these tests measuring fresh simulation (and keeps them from
+// writing a store into the package directory); the cache path has its
+// own tests in cache_test.go.
 func tinyFlags(extra ...string) []string {
 	return append([]string{
-		"-instructions", "4000", "-seed", "7", "-maxstride", "160", "-rounds", "5",
+		"-instructions", "4000", "-seed", "7", "-maxstride", "160", "-rounds", "5", "-no-cache",
 	}, extra...)
 }
 
@@ -75,7 +78,7 @@ func TestAllJSONByteIdenticalAcrossWorkers(t *testing.T) {
 // single-experiment output decodes into exp.Report, and re-encoding the
 // decoded value reproduces the original bytes.
 func TestReportEnvelopeRoundTrip(t *testing.T) {
-	out := runCLI(t, "fig1", "-instructions", "4000", "-maxstride", "160", "-rounds", "5", "-json")
+	out := runCLI(t, "fig1", "-instructions", "4000", "-maxstride", "160", "-rounds", "5", "-no-cache", "-json")
 	var rep exp.Report
 	if err := json.Unmarshal([]byte(out), &rep); err != nil {
 		t.Fatalf("fig1 -json does not decode into Report: %v", err)
@@ -101,7 +104,7 @@ func TestReportEnvelopeRoundTrip(t *testing.T) {
 }
 
 func TestExperimentRenderSmoke(t *testing.T) {
-	out := runCLI(t, "interleave", "-instructions", "4000", "-seed", "7", "-maxstride", "160")
+	out := runCLI(t, "interleave", "-instructions", "4000", "-seed", "7", "-maxstride", "160", "-no-cache")
 	for _, want := range []string{"=== interleave ===", "ipoly-16", "completed in"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("interleave output missing %q", want)
@@ -267,7 +270,7 @@ func TestCancelledContextFailsFast(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	var stdout, stderr bytes.Buffer
-	args := append([]string{"fig1"}, "-instructions", "4000", "-maxstride", "160", "-rounds", "5")
+	args := append([]string{"fig1"}, "-instructions", "4000", "-maxstride", "160", "-rounds", "5", "-no-cache")
 	if code := Run(ctx, args, &stdout, &stderr); code != 1 {
 		t.Fatalf("cancelled run exited %d, want 1", code)
 	}

@@ -23,6 +23,17 @@ type Experiment struct {
 	// series, notes and the normalized base metadata; the registry's Run
 	// wrapper stamps identity, schema and wall time.
 	Run func(ctx context.Context, cfg Config) (*Report, error)
+	// Rev is the experiment's result-schema revision, part of every
+	// cached Report's content address: bump it whenever the experiment's
+	// semantics or report layout change, so stale cached Reports
+	// degrade to a recompute instead of being served.
+	Rev int
+	// Norm returns a normalized copy of cfg — zero fields filled with
+	// the experiment's defaults, cfg itself untouched.  The result
+	// cache hashes the normalized config, so a zero field and its
+	// explicit default share one cache entry.  nil means cfg is hashed
+	// as-is.
+	Norm func(cfg Config) Config
 }
 
 // Params returns a fresh default config's parameter spec.
@@ -85,10 +96,23 @@ func All() []Experiment {
 // Run validates cfg, executes the experiment and stamps the report's
 // identity, schema and wall time.  It is the single path every consumer
 // (CLI subcommand, `repro all`, golden tests, services) goes through.
+// When a result cache is installed (SetCache), the report is served
+// from the content-addressed store on a key hit and simulated (then
+// persisted) otherwise.
 func Run(ctx context.Context, e Experiment, cfg Config) (*Report, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("%s: invalid config: %w", e.Name, err)
 	}
+	if c := currentCache(); c != nil {
+		return c.run(ctx, e, cfg)
+	}
+	return runFresh(ctx, e, cfg)
+}
+
+// runFresh executes the experiment unconditionally and stamps the
+// report — the pre-cache Run body, shared by the miss path and the
+// integrity resample.
+func runFresh(ctx context.Context, e Experiment, cfg Config) (*Report, error) {
 	start := time.Now()
 	rep, err := e.Run(ctx, cfg)
 	if err != nil {

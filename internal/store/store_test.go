@@ -1,0 +1,287 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+)
+
+func mustOpen(t *testing.T, dir string, max int64) *Store {
+	t.Helper()
+	s, err := Open(dir, max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustPut(t *testing.T, s *Store, kind, key, rev string, blob []byte) {
+	t.Helper()
+	if err := s.Put(kind, key, rev, map[string]string{"test": key}, blob); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), DefaultMaxBytes)
+	blob := []byte("hello artifact")
+	mustPut(t, s, "report", "abc123", "rev1", blob)
+	got, ok := s.Get("report", "abc123", "rev1")
+	if !ok || !bytes.Equal(got, blob) {
+		t.Fatalf("Get = %q, %v; want %q, true", got, ok, blob)
+	}
+	m, ok := s.Manifest("report", "abc123")
+	if !ok {
+		t.Fatal("manifest missing after Put")
+	}
+	if m.Schema != Schema || m.Kind != "report" || m.Key != "abc123" || m.Rev != "rev1" {
+		t.Errorf("manifest identity: %+v", m)
+	}
+	if m.BlobBytes != int64(len(blob)) || m.BlobSHA256 != sha256hex(blob) {
+		t.Errorf("manifest blob fields: %+v", m)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 0 || st.Writes != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), DefaultMaxBytes)
+	if _, ok := s.Get("trace", "deadbeef", "rev1"); ok {
+		t.Fatal("hit on an empty store")
+	}
+	if st := s.Stats(); st.Misses != 1 || st.Corruptions != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestReopenIndexesExistingEntries checks persistence across Open
+// calls — the cross-process contract a warm `repro all` relies on.
+func TestReopenIndexesExistingEntries(t *testing.T) {
+	dir := t.TempDir()
+	s1 := mustOpen(t, dir, DefaultMaxBytes)
+	blob := bytes.Repeat([]byte{7}, 1000)
+	mustPut(t, s1, "trace", "feed", "rev1", blob)
+
+	s2 := mustOpen(t, dir, DefaultMaxBytes)
+	if s2.Len() != 1 || s2.UsedBytes() == 0 {
+		t.Fatalf("reopen indexed %d entries / %d bytes", s2.Len(), s2.UsedBytes())
+	}
+	got, ok := s2.Get("trace", "feed", "rev1")
+	if !ok || !bytes.Equal(got, blob) {
+		t.Fatal("reopened store lost the entry")
+	}
+}
+
+// corruptionCase damages a stored entry and asserts the degradation
+// contract: Get misses, the entry is removed, and a fresh Put+Get works
+// again — a clean recompute, never a wrong answer.
+func corruptionCase(t *testing.T, damage func(t *testing.T, s *Store)) {
+	t.Helper()
+	s := mustOpen(t, t.TempDir(), DefaultMaxBytes)
+	blob := []byte("precious bytes")
+	mustPut(t, s, "report", "cafe", "rev1", blob)
+	damage(t, s)
+	if got, ok := s.Get("report", "cafe", "rev1"); ok {
+		t.Fatalf("damaged entry returned %q", got)
+	}
+	if _, err := os.Stat(s.manifestPath("report", "cafe")); !os.IsNotExist(err) {
+		t.Error("damaged manifest not removed")
+	}
+	if _, err := os.Stat(s.blobPath("report", "cafe")); !os.IsNotExist(err) {
+		t.Error("damaged blob not removed")
+	}
+	// Recompute path: the store accepts and serves a fresh write.
+	mustPut(t, s, "report", "cafe", "rev1", blob)
+	if got, ok := s.Get("report", "cafe", "rev1"); !ok || !bytes.Equal(got, blob) {
+		t.Fatal("store did not recover after damage")
+	}
+}
+
+func TestTruncatedBlobMisses(t *testing.T) {
+	corruptionCase(t, func(t *testing.T, s *Store) {
+		if err := os.Truncate(s.blobPath("report", "cafe"), 3); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestBitFlippedBlobMisses(t *testing.T) {
+	corruptionCase(t, func(t *testing.T, s *Store) {
+		p := s.blobPath("report", "cafe")
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[len(b)/2] ^= 0x40 // same length, different content: only the hash can tell
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestGarbageManifestMisses(t *testing.T) {
+	corruptionCase(t, func(t *testing.T, s *Store) {
+		if err := os.WriteFile(s.manifestPath("report", "cafe"), []byte("{not json"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestMissingBlobMisses(t *testing.T) {
+	corruptionCase(t, func(t *testing.T, s *Store) {
+		if err := os.Remove(s.blobPath("report", "cafe")); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestStaleSchemaRevMisses pins the invalidation rule: an entry whose
+// manifest carries an older client revision reads as a miss (and is
+// reclaimed), so a schema bump degrades to recompute everywhere.
+func TestStaleSchemaRevMisses(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), DefaultMaxBytes)
+	mustPut(t, s, "report", "beef", "rev1", []byte("old layout"))
+	if _, ok := s.Get("report", "beef", "rev2"); ok {
+		t.Fatal("stale-rev entry hit")
+	}
+	st := s.Stats()
+	if st.Misses != 1 || st.Corruptions != 0 {
+		t.Errorf("stale rev counted as corruption: %+v", st)
+	}
+	if s.Len() != 0 {
+		t.Error("stale entry not reclaimed")
+	}
+}
+
+// TestStaleStoreSchemaMisses covers a manifest written by a future (or
+// ancient) store layout: the schema tag mismatch reads as corruption.
+func TestStaleStoreSchemaMisses(t *testing.T) {
+	corruptionCase(t, func(t *testing.T, s *Store) {
+		m, ok := s.Manifest("report", "cafe")
+		if !ok {
+			t.Fatal("manifest unreadable")
+		}
+		m.Schema = "repro/store/v0"
+		mb, _ := json.Marshal(m)
+		if err := os.WriteFile(s.manifestPath("report", "cafe"), mb, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestConcurrentWritersOneKey races writers on a single key: whatever
+// interleaving wins, the surviving entry must be one of the written
+// blobs, intact — never a torn mix.
+func TestConcurrentWritersOneKey(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), DefaultMaxBytes)
+	const writers = 8
+	valid := make(map[string]bool)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		blob := bytes.Repeat([]byte{byte('a' + w)}, 100+w)
+		mu.Lock()
+		valid[string(blob)] = true
+		mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.Put("trace", "abba", "rev1", nil, blob); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	got, ok := s.Get("trace", "abba", "rev1")
+	if !ok {
+		t.Fatal("no entry survived the race")
+	}
+	if !valid[string(got)] {
+		t.Fatalf("surviving blob %q is not one of the written values", got)
+	}
+}
+
+// TestEvictionLRU fills a tiny store past its budget and checks the
+// least-recently-used entry goes first — with recency refreshed by Get,
+// not just by Put order.
+func TestEvictionLRU(t *testing.T) {
+	blob := bytes.Repeat([]byte{1}, 400)
+	s := mustOpen(t, t.TempDir(), 1200) // room for two entries (~400 blob + manifest each)
+	mustPut(t, s, "trace", "aa", "rev1", blob)
+	mustPut(t, s, "trace", "bb", "rev1", blob)
+	if _, ok := s.Get("trace", "aa", "rev1"); !ok { // refresh aa: bb is now LRU
+		t.Fatal("aa missing before eviction")
+	}
+	mustPut(t, s, "trace", "cc", "rev1", blob)
+	if _, ok := s.Get("trace", "bb", "rev1"); ok {
+		t.Error("LRU entry bb survived eviction")
+	}
+	for _, key := range []string{"aa", "cc"} {
+		if _, ok := s.Get("trace", key, "rev1"); !ok {
+			t.Errorf("recently-used entry %s evicted", key)
+		}
+	}
+	if st := s.Stats(); st.Evictions == 0 {
+		t.Error("no evictions counted")
+	}
+	if s.UsedBytes() > 1200 {
+		t.Errorf("store over budget after eviction: %d bytes", s.UsedBytes())
+	}
+}
+
+// TestOversizedArtifactStays pins the soft-budget rule: an artifact
+// bigger than the whole budget still lands (evicting everything else)
+// rather than thrashing Put into a failure.
+func TestOversizedArtifactStays(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 300)
+	mustPut(t, s, "trace", "aa", "rev1", bytes.Repeat([]byte{1}, 100))
+	big := bytes.Repeat([]byte{2}, 1000)
+	mustPut(t, s, "trace", "big", "rev1", big)
+	if got, ok := s.Get("trace", "big", "rev1"); !ok || !bytes.Equal(got, big) {
+		t.Fatal("oversized artifact not readable after Put")
+	}
+	if _, ok := s.Get("trace", "aa", "rev1"); ok {
+		t.Error("smaller entry survived an over-budget write")
+	}
+}
+
+func TestUnsafeNamesPanic(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), DefaultMaxBytes)
+	for _, bad := range [][2]string{
+		{"", "abc"}, {"trace", ""}, {"../evil", "abc"}, {"trace", "a/b"}, {"trace", "A B"},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Get(%q, %q) did not panic", bad[0], bad[1])
+				}
+			}()
+			s.Get(bad[0], bad[1], "rev1")
+		}()
+	}
+}
+
+// TestManyKindsCoexist smoke-tests the namespace separation the two
+// real clients (traces, reports) rely on.
+func TestManyKindsCoexist(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), DefaultMaxBytes)
+	for i := 0; i < 10; i++ {
+		key := fmt.Sprintf("k%d", i)
+		mustPut(t, s, "trace", key, "rev1", []byte("trace-"+key))
+		mustPut(t, s, "report", key, "rev1", []byte("report-"+key))
+	}
+	for i := 0; i < 10; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if got, _ := s.Get("trace", key, "rev1"); string(got) != "trace-"+key {
+			t.Errorf("trace/%s = %q", key, got)
+		}
+		if got, _ := s.Get("report", key, "rev1"); string(got) != "report-"+key {
+			t.Errorf("report/%s = %q", key, got)
+		}
+	}
+}

@@ -18,12 +18,26 @@
 // streaming straight from the generator in bounded chunks, so
 // -instructions can scale to billions of records without the store
 // growing past its budget.
+//
+// An optional persistent tier (SetPersistent) backs the in-process
+// store with the on-disk content-addressed artifact store: packed
+// traces are keyed by a content hash of the profile's generator
+// parameters, the seed, the requested length and the packed-format
+// version, so they survive across `repro all` runs and are invalidated
+// automatically whenever any key ingredient changes.
 package tracestore
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strconv"
 	"sync"
 
+	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -40,21 +54,41 @@ const packedBytesPerRec = 8.125
 // the whole suite fits; billion-record runs exceed it and stream.
 const DefaultMaxBytes = 1 << 30
 
-// Key identifies one materialized trace.  Profiles are keyed by name:
-// two profiles sharing a name must be identical (true for the canonical
-// workload.Suite the experiment drivers use).
+// Key identifies one materialized trace.  Profiles are keyed by a
+// content hash of their generator parameters (ProfileKey), never by
+// name: two differing profiles that happen to share a name occupy
+// separate entries instead of silently aliasing.
 type Key struct {
-	Profile string
-	Seed    uint64
+	// ProfileHash is ProfileKey of the profile's parameters.
+	ProfileHash string
+	// Seed is the workload generation seed.
+	Seed uint64
+}
+
+// ProfileKey returns the content hash identifying a profile's
+// generator parameters: the hex SHA-256 of the profile's canonical
+// JSON encoding.  Any parameter change — arrays, mixes, biases, even
+// the name — yields a different key.
+func ProfileKey(prof workload.Profile) string {
+	b, err := json.Marshal(prof)
+	if err != nil {
+		// Profile is a plain-data struct; its encoding cannot fail.
+		panic(fmt.Sprintf("tracestore: profile %q not encodable: %v", prof.Name, err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
 }
 
 // Stats counts store traffic: Generations is the number of generation
 // passes performed (the number `repro all` wants at exactly one per
 // (profile, seed)), Hits the replays served from memory, Misses the
-// requests that had to generate (first touch or growth), and Streamed
-// the over-budget requests that bypassed the store.
+// requests that had to materialize (first touch or growth), Streamed
+// the over-budget requests that bypassed the store, and DiskHits /
+// DiskPuts the persistent-tier traffic (a disk hit is a Miss that
+// loaded the packed trace instead of generating it).
 type Stats struct {
 	Hits, Misses, Generations, Streamed uint64
+	DiskHits, DiskPuts                  uint64
 }
 
 // Store memoizes packed memory traces under a byte budget.
@@ -63,6 +97,7 @@ type Store struct {
 	maxBytes int64
 	used     int64
 	entries  map[Key]*entry
+	disk     *store.Store
 	stats    Stats
 }
 
@@ -72,6 +107,7 @@ type Store struct {
 type entry struct {
 	mu      sync.Mutex
 	prof    workload.Profile
+	hash    string // ProfileKey(prof)
 	seed    uint64
 	n       uint64   // records materialized
 	charged int64    // bytes charged against the store budget
@@ -86,6 +122,45 @@ func New(maxBytes int64) *Store {
 
 // Default is the process-wide store shared by the experiment drivers.
 var Default = New(DefaultMaxBytes)
+
+// FormatVersion identifies the packed on-disk trace encoding and the
+// workload-generator semantics it snapshots.  Bump it whenever the
+// packed layout or the generator's output for a fixed (profile, seed)
+// changes: every persisted trace keyed under the old version then
+// degrades to a clean regeneration.
+const FormatVersion = "repro/trace/v1"
+
+// traceKind is the artifact-store namespace packed traces live under.
+const traceKind = "trace"
+
+// SetPersistent attaches (nil detaches) an on-disk artifact store as
+// the store's persistent tier: materializations first try to load the
+// packed trace from disk, and fresh generations are written back, so
+// traces survive across runs.  Correctness never depends on the tier —
+// a missing, corrupt or stale artifact just regenerates.
+func (s *Store) SetPersistent(d *store.Store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.disk = d
+}
+
+// persistent returns the attached persistent tier, or nil.
+func (s *Store) persistent() *store.Store {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.disk
+}
+
+// diskKey derives the content address of one persisted packed trace
+// from everything that determines its bytes: the packed-format
+// version, the profile's parameter hash, the seed and the requested
+// record count.
+func diskKey(profileHash string, seed, max uint64) string {
+	h := sha256.New()
+	h.Write([]byte(FormatVersion + "\x00" + profileHash + "\x00" +
+		strconv.FormatUint(seed, 10) + "\x00" + strconv.FormatUint(max, 10)))
+	return hex.EncodeToString(h.Sum(nil))
+}
 
 // Stats returns a snapshot of the store's traffic counters.
 func (s *Store) Stats() Stats {
@@ -115,7 +190,7 @@ func (s *Store) ReplayMem(ctx context.Context, prof workload.Profile, seed, max 
 	if max == 0 {
 		return ctx.Err()
 	}
-	key := Key{Profile: prof.Name, Seed: seed}
+	key := Key{ProfileHash: ProfileKey(prof), Seed: seed}
 
 	// Admission reserves the projected bytes up front, so concurrent
 	// first-touch requests for different keys each see the others'
@@ -130,7 +205,7 @@ func (s *Store) ReplayMem(ctx context.Context, prof workload.Profile, seed, max 
 			s.mu.Unlock()
 			return streamMem(ctx, prof, seed, max, fn)
 		}
-		e = &entry{prof: prof, seed: seed, charged: need}
+		e = &entry{prof: prof, hash: key.ProfileHash, seed: seed, charged: need}
 		s.used += need
 		s.entries[key] = e
 	}
@@ -155,9 +230,27 @@ func (s *Store) ReplayMem(ctx context.Context, prof workload.Profile, seed, max 
 			e.charged = need
 		}
 		s.stats.Misses++
-		s.stats.Generations++
 		s.mu.Unlock()
-		err := e.generate(ctx, max)
+		// Materialize: the persistent tier first (a verified packed
+		// artifact loads in one read), generation otherwise — with the
+		// fresh result written back so the next run skips the pass.
+		var err error
+		d := s.persistent()
+		if d != nil && e.loadDisk(d, max) {
+			s.mu.Lock()
+			s.stats.DiskHits++
+			s.mu.Unlock()
+		} else {
+			s.mu.Lock()
+			s.stats.Generations++
+			s.mu.Unlock()
+			err = e.generate(ctx, max)
+			if err == nil && d != nil && e.saveDisk(d, max) {
+				s.mu.Lock()
+				s.stats.DiskPuts++
+				s.mu.Unlock()
+			}
+		}
 		// Settle the reservation to what actually materialized (a
 		// cancelled generation refunds; the partial entry is regenerated
 		// on next touch).
@@ -215,6 +308,81 @@ func (e *entry) generate(ctx context.Context, max uint64) error {
 		}
 	}
 	return nil
+}
+
+// loadDisk tries to materialize the entry from the persistent tier's
+// packed artifact for (profile, seed, max), reporting success.  The
+// artifact store has already verified the blob's hash; decodePacked
+// re-checks the framing, so a stale or damaged artifact degrades to
+// regeneration.
+func (e *entry) loadDisk(d *store.Store, max uint64) bool {
+	blob, ok := d.Get(traceKind, diskKey(e.hash, e.seed, max), FormatVersion)
+	if !ok {
+		return false
+	}
+	addrs, stores, n, ok := decodePacked(blob, max)
+	if !ok {
+		return false
+	}
+	e.addrs, e.stores, e.n = addrs, stores, n
+	return true
+}
+
+// saveDisk writes the entry's packed arrays to the persistent tier
+// (best effort — a full disk or unwritable directory costs nothing but
+// the next run's regeneration), reporting whether the write landed.
+func (e *entry) saveDisk(d *store.Store, max uint64) bool {
+	err := d.Put(traceKind, diskKey(e.hash, e.seed, max), FormatVersion,
+		map[string]string{
+			"profile": e.prof.Name,
+			"seed":    strconv.FormatUint(e.seed, 10),
+			"records": strconv.FormatUint(e.n, 10),
+		}, encodePacked(e.addrs, e.stores, e.n))
+	return err == nil
+}
+
+// encodePacked frames the packed struct-of-arrays form for disk:
+// a little-endian record count, the address array, then the store
+// bitmask words.
+func encodePacked(addrs, stores []uint64, n uint64) []byte {
+	words := (n + 63) / 64
+	blob := make([]byte, 8+8*n+8*words)
+	binary.LittleEndian.PutUint64(blob, n)
+	off := 8
+	for _, a := range addrs[:n] {
+		binary.LittleEndian.PutUint64(blob[off:], a)
+		off += 8
+	}
+	for _, w := range stores[:words] {
+		binary.LittleEndian.PutUint64(blob[off:], w)
+		off += 8
+	}
+	return blob
+}
+
+// decodePacked reverses encodePacked, rejecting any framing that does
+// not describe exactly len(blob) bytes or more records than requested.
+func decodePacked(blob []byte, max uint64) (addrs, stores []uint64, n uint64, ok bool) {
+	if len(blob) < 8 {
+		return nil, nil, 0, false
+	}
+	n = binary.LittleEndian.Uint64(blob)
+	words := (n + 63) / 64
+	if n > max || n > uint64(len(blob))/8 || uint64(len(blob)) != 8+8*n+8*words {
+		return nil, nil, 0, false
+	}
+	addrs = make([]uint64, n)
+	off := 8
+	for i := range addrs {
+		addrs[i] = binary.LittleEndian.Uint64(blob[off:])
+		off += 8
+	}
+	stores = make([]uint64, words)
+	for i := range stores {
+		stores[i] = binary.LittleEndian.Uint64(blob[off:])
+		off += 8
+	}
+	return addrs, stores, n, true
 }
 
 // replayPacked decodes the first max of n packed records back into

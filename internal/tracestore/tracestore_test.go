@@ -2,9 +2,13 @@ package tracestore
 
 import (
 	"context"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
+	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -221,6 +225,136 @@ func TestBudgetReservedAtAdmission(t *testing.T) {
 	st := s.Stats()
 	if st.Generations != 1 || st.Streamed != 1 {
 		t.Errorf("generations=%d streamed=%d, want exactly one of each", st.Generations, st.Streamed)
+	}
+}
+
+// TestProfilesSharingNameDoNotCollide pins the Key fix: entries are
+// keyed by a content hash of the profile's generator parameters, so two
+// differing profiles under one name materialize separately and each
+// replay matches its own direct generation.
+func TestProfilesSharingNameDoNotCollide(t *testing.T) {
+	a := workload.Profile{
+		Name: "impostor", IntOps: 2, RandLoads: 2, HotFrac: 0.5,
+		RandRegion: 64 << 10, RandBase: 1 << 24, TakenBias: 0.5, LoopLen: 4,
+	}
+	b := a
+	b.RandRegion = 256 << 10 // same name, different generator parameters
+	if ProfileKey(a) == ProfileKey(b) {
+		t.Fatal("differing profiles share a ProfileKey")
+	}
+
+	s := New(DefaultMaxBytes)
+	const max = 5_000
+	gotA := collectStore(t, s, a, 7, max) // a materializes first...
+	gotB := collectStore(t, s, b, 7, max) // ...and must not shadow b
+	if st := s.Stats(); st.Generations != 2 {
+		t.Errorf("two distinct profiles cost %d generations, want 2", st.Generations)
+	}
+	wantB := collectDirect(b, 7, max)
+	for i := range gotB {
+		if gotB[i].Op != wantB[i].Op || gotB[i].Addr != wantB[i].Addr {
+			t.Fatalf("profile b record %d served from profile a's entry", i)
+		}
+	}
+	same := len(gotA) == len(gotB)
+	if same {
+		for i := range gotA {
+			if gotA[i] != gotB[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("the two profiles produced identical traces; the collision test is vacuous")
+	}
+}
+
+// TestPersistentTierSurvivesRestart is the cross-run contract: a fresh
+// in-process store backed by the same disk store replays the packed
+// trace without a generation pass, bit-identical to the first run.
+func TestPersistentTierSurvivesRestart(t *testing.T) {
+	d, err := store.Open(t.TempDir(), store.DefaultMaxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _ := workload.ByName("tomcatv")
+	const max = 20_000
+
+	s1 := New(DefaultMaxBytes)
+	s1.SetPersistent(d)
+	first := collectStore(t, s1, prof, 7, max)
+	if st := s1.Stats(); st.Generations != 1 || st.DiskPuts != 1 || st.DiskHits != 0 {
+		t.Fatalf("cold run stats: %+v", st)
+	}
+
+	s2 := New(DefaultMaxBytes) // "next process"
+	s2.SetPersistent(d)
+	second := collectStore(t, s2, prof, 7, max)
+	if st := s2.Stats(); st.Generations != 0 || st.DiskHits != 1 {
+		t.Errorf("warm run still generated: %+v", st)
+	}
+	if len(first) != len(second) {
+		t.Fatalf("warm replay has %d records, want %d", len(second), len(first))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("warm replay diverges at record %d", i)
+		}
+	}
+	// The warm store replays from memory afterwards, as usual.
+	collectStore(t, s2, prof, 7, max)
+	if st := s2.Stats(); st.Hits != 1 {
+		t.Errorf("replay after disk load missed the in-process tier: %+v", st)
+	}
+}
+
+// TestPersistentCorruptionRegenerates damages the persisted blob and
+// checks the degradation contract end to end: the damaged artifact
+// reads as a miss, the trace regenerates, and the replay is correct.
+func TestPersistentCorruptionRegenerates(t *testing.T) {
+	dir := t.TempDir()
+	d, err := store.Open(dir, store.DefaultMaxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _ := workload.ByName("swim")
+	const max = 10_000
+	s1 := New(DefaultMaxBytes)
+	s1.SetPersistent(d)
+	collectStore(t, s1, prof, 3, max)
+
+	// Flip one byte of the persisted blob.
+	var blobs []string
+	filepath.WalkDir(dir, func(path string, de os.DirEntry, err error) error {
+		if err == nil && !de.IsDir() && strings.HasSuffix(path, ".blob") {
+			blobs = append(blobs, path)
+		}
+		return nil
+	})
+	if len(blobs) != 1 {
+		t.Fatalf("found %d persisted blobs, want 1", len(blobs))
+	}
+	raw, err := os.ReadFile(blobs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x01
+	if err := os.WriteFile(blobs[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := New(DefaultMaxBytes)
+	s2.SetPersistent(d)
+	got := collectStore(t, s2, prof, 3, max)
+	if st := s2.Stats(); st.Generations != 1 || st.DiskHits != 0 {
+		t.Errorf("corrupt artifact did not degrade to regeneration: %+v", st)
+	}
+	want := collectDirect(prof, 3, max)
+	for i := range got {
+		if got[i].Op != want[i].Op || got[i].Addr != want[i].Addr {
+			t.Fatalf("regenerated replay wrong at record %d", i)
+		}
 	}
 }
 
