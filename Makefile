@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-cache bench-trace bench-grid bench-stackdist bench-store fuzz-smoke lint doccheck report ci
+.PHONY: build test race bench bench-smoke bench-cache bench-trace bench-grid bench-stackdist bench-store bench-parallel fuzz-smoke lint doccheck report ci
 
 build:
 	$(GO) build ./...
@@ -12,7 +12,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/runner/... ./internal/cli/... ./internal/experiments/... ./internal/tracestore/... ./internal/store/... ./internal/exp/...
+	$(GO) test -race ./internal/runner/... ./internal/cli/... ./internal/experiments/... ./internal/tracestore/... ./internal/store/... ./internal/exp/... ./internal/trace/... ./internal/cache/...
 
 # Full benchmark sweep (minutes).
 bench:
@@ -74,12 +74,25 @@ bench-store:
 	$(GO) run ./cmd/benchjson -suite store < bench_store.txt > BENCH_store.current.json
 	@cat BENCH_store.current.json
 
+# Intra-trace parallelism benchmark: the chunk-broadcast pipeline with
+# point-sharded grids against the sequential single-goroutine pass, on
+# the sweep's 24-point design space, plus the end-to-end curves driver
+# at 1 vs 8 shards.  Same archival scheme as bench-cache:
+# BENCH_parallel.current.json is gitignored, the committed
+# BENCH_parallel.json is the curated before/after record (read its
+# notes: speedup needs spare cores; a 1-core host measures overhead).
+bench-parallel:
+	$(GO) test -run '^$$' -bench 'BenchmarkGridParallel|BenchmarkCurvesParallel' -benchmem -benchtime 1s . > bench_parallel.txt
+	$(GO) run ./cmd/benchjson -suite parallel < bench_parallel.txt > BENCH_parallel.current.json
+	@cat BENCH_parallel.current.json
+
 # Short native-fuzz smoke over the trace codec and the simulation
 # engines (one target per invocation, as `go test -fuzz` requires).
 fuzz-smoke:
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime 10s
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzReaderCorrupt -fuzztime 10s
 	$(GO) test ./internal/cache -run '^$$' -fuzz FuzzGridAccess -fuzztime 10s
+	$(GO) test ./internal/cache -run '^$$' -fuzz FuzzShardedGrid -fuzztime 10s
 	$(GO) test ./internal/cache/stackdist -run '^$$' -fuzz FuzzEngineVsNaive -fuzztime 10s
 
 # Documentation gate: every exported symbol in the library packages

@@ -15,6 +15,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/cache"
@@ -629,6 +630,84 @@ func BenchmarkReproAll(b *testing.B) {
 		if code != 0 {
 			b.Fatalf("repro all exited %d", code)
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Intra-trace parallelism benchmarks (make bench-parallel -> BENCH_parallel.json)
+// ---------------------------------------------------------------------------
+
+// BenchmarkGridParallel measures the intra-trace chunk-broadcast
+// pipeline on the sweep aggregate (the 24-point design space over one
+// benchmark's 200k-record memory trace, served from the memoized
+// store): the sequential single-goroutine grid pass against the same
+// spec split across 2/4/8 ShardedGrid shards, each shard a broadcast
+// consumer fed zero-copy from the store's packed decode.  Results are
+// bit-identical at every shard count (TestShardedGridMatchesSequential,
+// FuzzShardedGrid); the wall-clock win scales with spare cores — on a
+// single-core host the pipeline only adds its (small) handoff overhead.
+func BenchmarkGridParallel(b *testing.B) {
+	prof := mustProf(b, "gcc")
+	const nrecs = 200_000
+	const seed = 1997
+	store := tracestore.New(tracestore.DefaultMaxBytes)
+	ctx := context.Background()
+	// Materialize the packed trace outside the timed regions.
+	if err := store.ReplayMem(ctx, prof, seed, nrecs, func([]trace.Rec) {}); err != nil {
+		b.Fatal(err)
+	}
+	spec := experiments.SweepGridSpec()
+
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g := cache.NewGrid(spec)
+			err := store.ReplayMem(ctx, prof, seed, nrecs, func(recs []trace.Rec) { g.AccessStream(recs) })
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, shards := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g := cache.NewShardedGrid(spec, shards)
+				bc := trace.NewBroadcast(g.Shards(), 6, tracestore.ChunkLen)
+				var wg sync.WaitGroup
+				for k := 0; k < g.Shards(); k++ {
+					wg.Add(1)
+					go func(k int) {
+						defer wg.Done()
+						sub := g.Sub(k)
+						bc.Receive(k, func(recs []trace.Rec) { sub.AccessStream(recs) })
+					}(k)
+				}
+				err := store.ReplayMemChunks(ctx, prof, seed, nrecs, bc.Slot, bc.Publish)
+				bc.CloseSend(err)
+				wg.Wait()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCurvesParallel measures intra-trace sharding end to end on
+// the heaviest driver: the full curves experiment (19 consumers — three
+// schemes' stack-distance engines plus the Mattson envelope) pinned to
+// one pool worker, so any speedup comes from sharding alone.
+func BenchmarkCurvesParallel(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cfg := experiments.CurvesConfig{Base: benchBase()}
+			cfg.Workers = 1
+			cfg.Shards = shards
+			for i := 0; i < b.N; i++ {
+				benchRun(b, experiments.RunCurvesCtx, cfg)
+			}
+		})
 	}
 }
 

@@ -20,6 +20,11 @@ const DefaultCacheDir = ".repro-cache"
 type cacheOptions struct {
 	dir string
 	off bool
+	// traceBase snapshots the process-wide trace-store counters when the
+	// persistent tier is installed, so traceDelta reports this
+	// invocation's disk traffic even when earlier in-process runs (tests)
+	// already moved the cumulative counters.
+	traceBase tracestore.Stats
 }
 
 // addCacheFlags registers -cache-dir and -no-cache on fs.
@@ -50,15 +55,31 @@ func (o *cacheOptions) open(stderr io.Writer) (*exp.ResultCache, func()) {
 	rc := exp.NewResultCache(d)
 	exp.SetCache(rc)
 	tracestore.Default.SetPersistent(d)
+	o.traceBase = tracestore.Default.Stats()
 	return rc, func() {
 		exp.SetCache(nil)
 		tracestore.Default.SetPersistent(nil)
 	}
 }
 
+// traceDelta returns the trace store's disk traffic since open().
+func (o *cacheOptions) traceDelta() tracestore.Stats {
+	st := tracestore.Default.Stats()
+	st.Hits -= o.traceBase.Hits
+	st.Misses -= o.traceBase.Misses
+	st.Generations -= o.traceBase.Generations
+	st.Streamed -= o.traceBase.Streamed
+	st.DiskHits -= o.traceBase.DiskHits
+	st.DiskPuts -= o.traceBase.DiskPuts
+	return st
+}
+
 // cacheStatsLine formats the end-of-run cache summary for stderr —
 // stderr so `repro all -json` stdout stays byte-identical cold vs warm.
-func cacheStatsLine(st exp.CacheStats) string {
+// ts is the packed-trace tier's traffic for the same invocation: disk
+// hits are trace materializations served from the artifact store
+// instead of regenerated, disk puts the traces persisted for the next.
+func cacheStatsLine(st exp.CacheStats, ts tracestore.Stats) string {
 	line := fmt.Sprintf("repro all: cache %d hits, %d misses, %d stored", st.Hits, st.Misses, st.Writes)
 	switch {
 	case st.Resampled == "":
@@ -68,5 +89,6 @@ func cacheStatsLine(st exp.CacheStats) string {
 	default:
 		line += fmt.Sprintf("; integrity resample %s: DIVERGED", st.Resampled)
 	}
+	line += fmt.Sprintf("; traces: %d disk hits, %d disk puts", ts.DiskHits, ts.DiskPuts)
 	return line
 }

@@ -53,6 +53,11 @@ func TestCacheWarmRunByteIdentical(t *testing.T) {
 	for _, want := range []string{
 		"cache 13 hits, 0 misses, 0 stored",
 		"integrity resample options31: ok",
+		// Disk-tier trace traffic is reported too; exact counts depend on
+		// what earlier in-process runs left in the shared memory store, so
+		// only the segment's presence is pinned.
+		" disk hits, ",
+		" disk puts",
 	} {
 		if !strings.Contains(s, want) {
 			t.Errorf("warm stderr missing %q (registry size %d): %q", want, n, s)

@@ -102,6 +102,7 @@ func oneMain(ctx context.Context, e exp.Experiment, args []string, stdout, stder
 	}
 	jsonOut := fs.Bool("json", false, "emit the report JSON envelope instead of rendered text")
 	cache := addCacheFlags(fs)
+	prof := addProfileFlags(fs)
 	if code, ok := parseFlags(fs, args); !ok {
 		return code
 	}
@@ -109,6 +110,8 @@ func oneMain(ctx context.Context, e exp.Experiment, args []string, stdout, stder
 		fmt.Fprintf(stderr, "repro %s: %v\n", e.Name, err)
 		return 2
 	}
+	stopProf := prof.start(stderr)
+	defer stopProf()
 	_, closeCache := cache.open(stderr)
 	defer closeCache()
 	if *jsonOut {
@@ -191,6 +194,7 @@ func allMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	jsonOut := fs.Bool("json", false, "emit the report-set JSON envelope instead of rendered text")
 	cache := addCacheFlags(fs)
+	prof := addProfileFlags(fs)
 	if code, ok := parseFlags(fs, args); !ok {
 		return code
 	}
@@ -200,6 +204,8 @@ func allMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	}
+	stopProf := prof.start(stderr)
+	defer stopProf()
 	rc, closeCache := cache.open(stderr)
 	defer closeCache()
 	if rc != nil {
@@ -235,7 +241,7 @@ func allMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if rc != nil {
-		fmt.Fprintln(stderr, cacheStatsLine(rc.Stats()))
+		fmt.Fprintln(stderr, cacheStatsLine(rc.Stats(), cache.traceDelta()))
 	}
 	if len(env.Errors) > 0 {
 		fmt.Fprintf(stderr, "repro all: %d of %d experiments failed:\n", len(env.Errors), len(all))
@@ -290,7 +296,11 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, "  tracegen    write a synthetic benchmark trace to a file")
 	fmt.Fprintln(w, "  tracesim    replay a binary trace through a cache configuration")
 	fmt.Fprintln(w, "\nExperiment sweeps run on a bounded worker pool (-workers, default")
-	fmt.Fprintln(w, "GOMAXPROCS); results are bit-identical at every worker count.")
+	fmt.Fprintln(w, "GOMAXPROCS); inside each job the trace is broadcast once to sharded")
+	fmt.Fprintln(w, "simulation state (-shards, 0 = auto from spare cores).  Results are")
+	fmt.Fprintln(w, "bit-identical at every worker and shard count.")
+	fmt.Fprintln(w, "\nAny experiment subcommand takes -cpuprofile/-memprofile to write pprof")
+	fmt.Fprintln(w, "profiles of the run.")
 	fmt.Fprintln(w, "\nRuns are incremental: traces and reports persist in a content-addressed")
 	fmt.Fprintln(w, "artifact store (-cache-dir, default "+DefaultCacheDir+"; disable with -no-cache).")
 	fmt.Fprintln(w, "`repro all` re-simulates one cached experiment per run as an integrity check.")

@@ -1,0 +1,65 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// profileOptions carries the pprof flags shared by the experiment
+// subcommands: where to write the CPU and heap profiles, if anywhere.
+type profileOptions struct {
+	cpu string
+	mem string
+}
+
+// addProfileFlags registers -cpuprofile and -memprofile on fs.
+func addProfileFlags(fs *flag.FlagSet) *profileOptions {
+	o := &profileOptions{}
+	fs.StringVar(&o.cpu, "cpuprofile", "",
+		"write a pprof CPU profile of the run to this file")
+	fs.StringVar(&o.mem, "memprofile", "",
+		"write a pprof heap profile to this file when the run finishes")
+	return o
+}
+
+// start begins any requested profiling and returns the teardown that
+// stops the CPU profile and snapshots the heap.  Profiling problems are
+// stderr warnings, never run failures: a profile observes the run, it
+// must not be able to sink it.
+func (o *profileOptions) start(stderr io.Writer) func() {
+	var cpuFile *os.File
+	if o.cpu != "" {
+		switch f, err := os.Create(o.cpu); {
+		case err != nil:
+			fmt.Fprintf(stderr, "repro: cpuprofile disabled: %v\n", err)
+		case pprof.StartCPUProfile(f) != nil:
+			fmt.Fprintf(stderr, "repro: cpuprofile disabled: already profiling\n")
+			f.Close()
+		default:
+			cpuFile = f
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if o.mem == "" {
+			return
+		}
+		f, err := os.Create(o.mem)
+		if err != nil {
+			fmt.Fprintf(stderr, "repro: memprofile skipped: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // settle reachable-heap accounting before the snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(stderr, "repro: memprofile skipped: %v\n", err)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestProfileFlagsWriteProfiles checks -cpuprofile/-memprofile produce
+// non-empty pprof files without disturbing the run.
+func TestProfileFlagsWriteProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := dir+"/cpu.pprof", dir+"/mem.pprof"
+	var stdout, stderr bytes.Buffer
+	args := []string{"stddev", "-instructions", "4000", "-seed", "7", "-no-cache",
+		"-cpuprofile", cpu, "-memprofile", mem}
+	if code := Run(context.Background(), args, &stdout, &stderr); code != 0 {
+		t.Fatalf("exited %d: %s", code, stderr.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile missing: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+	if s := stderr.String(); strings.Contains(s, "profile") {
+		t.Errorf("unexpected profiling warning: %q", s)
+	}
+}
+
+// TestProfileFlagBadPathIsWarning pins the observer contract: an
+// unwritable profile path warns on stderr but never fails the run.
+func TestProfileFlagBadPathIsWarning(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{"stddev", "-instructions", "4000", "-seed", "7", "-no-cache",
+		"-cpuprofile", t.TempDir() + "/no-such-dir/cpu.pprof"}
+	if code := Run(context.Background(), args, &stdout, &stderr); code != 0 {
+		t.Fatalf("exited %d: %s", code, stderr.String())
+	}
+	if s := stderr.String(); !strings.Contains(s, "cpuprofile disabled") {
+		t.Errorf("stderr missing cpuprofile warning: %q", s)
+	}
+}

@@ -24,7 +24,7 @@ const resultKeySchema = "repro/result-key/v1"
 // CanonicalConfig returns the canonical JSON encoding of cfg used for
 // content addressing: the experiment's normalization applied (so a zero
 // field and its explicit default hash identically), execution-only
-// fields (workers) removed, and keys emitted in sorted order.  Numbers
+// fields (workers, shards) removed, and keys emitted in sorted order.  Numbers
 // pass through json.Number, so uint64 seeds survive exactly.
 func CanonicalConfig(e Experiment, cfg Config) ([]byte, error) {
 	if e.Norm != nil {
@@ -40,7 +40,10 @@ func CanonicalConfig(e Experiment, cfg Config) ([]byte, error) {
 	if err := dec.Decode(&m); err != nil {
 		return nil, fmt.Errorf("%s: canonicalize config: %w", e.Name, err)
 	}
-	delete(m, "workers")   // execution detail: results are identical at any count
+	// Execution details: results are identical at any worker or shard
+	// count, so neither may fragment the content address.
+	delete(m, "workers")
+	delete(m, "shards")
 	return json.Marshal(m) // map keys marshal in sorted order
 }
 

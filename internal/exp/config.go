@@ -24,6 +24,14 @@ type Base struct {
 	// randomness from the seed and their grid coordinates, and the
 	// runner reduces results in job order.
 	Workers int `json:"workers" flag:"workers" help:"parallel sweep workers (0 = GOMAXPROCS); results are identical at any count"`
+	// Shards bounds intra-trace parallelism inside each sweep job: how
+	// many disjoint state shards (grid-point partitions, stack-distance
+	// engines, composite consumers) advance concurrently over one
+	// decoded chunk stream.  0 picks a heuristic from the cores left
+	// spare by the job-level pool, so the two layers share the machine.
+	// Like Workers, it is an execution detail: results are bit-identical
+	// at every shard count.
+	Shards int `json:"shards" flag:"shards" help:"intra-trace state shards per job (0 = auto from spare cores); results are identical at any count"`
 }
 
 // Default experiment scale: 200k instructions per program per

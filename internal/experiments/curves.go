@@ -124,17 +124,16 @@ func RunCurvesCtx(ctx context.Context, cfg CurvesConfig) (CurvesResult, error) {
 		jobs[i] = runner.KeyedJob("curves/"+prof.Name,
 			func(c *runner.Ctx) (benchCurves, error) {
 				fams := make([]*stackdist.Family, len(res.Schemes))
+				var cons []chunkConsumer
 				for k, scheme := range res.Schemes {
 					fams[k] = stackdist.NewFamily(scheme, res.SetCounts, 32, cfg.MaxWays, hashInBits, false, false)
+					// One shardable consumer per per-set-count engine: the
+					// three families' engines spread across workers.
+					cons = append(cons, famConsumers(fams[k])...)
 				}
 				mat := stackdist.NewMattson(32)
-				err := runGrid(c, prof, cfg.Seed, cfg.Instructions, nil,
-					func(recs []trace.Rec) {
-						for _, f := range fams {
-							f.AccessStream(recs)
-						}
-					},
-					func(recs []trace.Rec) { mat.AccessStream(recs) })
+				cons = append(cons, auxConsumer(func(recs []trace.Rec) { mat.AccessStream(recs) }))
+				err := runGrid(c, prof, cfg.Seed, cfg.Instructions, cfg.Shards, cons...)
 				if err != nil {
 					return benchCurves{}, err
 				}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/cache"
 	"repro/internal/exp"
@@ -158,6 +159,83 @@ type fig1Partial struct {
 	patho []int
 }
 
+// newFig1Partial allocates an empty partial for nsch schemes.
+func newFig1Partial(nsch int) fig1Partial {
+	p := fig1Partial{hists: make([]*stats.Histogram, nsch), patho: make([]int, nsch)}
+	for k := range p.hists {
+		p.hists[k] = stats.NewHistogram(10)
+	}
+	return p
+}
+
+// fig1Elems is the Figure 1 kernel's vector length (64 × 8-byte
+// elements); the first round over it is the warm-up.
+const fig1Elems = 64
+
+// fig1ChunkSharded runs one stride-chunk job with the scheme grid split
+// across nsh concurrent shards.  Every stride's kernel is materialized
+// once into a shared read-only buffer; each worker then owns a sub-Grid
+// over a scheme partition and replays every stride's reset/warm-up/
+// measure cycle against it, recording per-stride miss ratios.  The
+// merge walks (stride, scheme) in the same order as the sequential
+// loop, so histograms and pathological counts are bit-identical at
+// every shard count.
+func fig1ChunkSharded(ctx context.Context, cfg Fig1Config, lo, hi, nsh int) (fig1Partial, error) {
+	spec := fig1Spec()
+	p := newFig1Partial(len(spec))
+	sg := cache.NewShardedGrid(spec, nsh)
+	kernels := make([][]trace.Rec, hi-lo)
+	for i := range kernels {
+		ss := workload.NewStrideStream(0, uint64(lo+i)*8, fig1Elems, cfg.Rounds)
+		buf := make([]trace.Rec, ss.Total())
+		n, _ := ss.ReadChunk(buf)
+		kernels[i] = buf[:n]
+	}
+	// mrs[shard][stride] is the shard's local miss-ratio row per stride.
+	mrs := make([][][]float64, sg.Shards())
+	var wg sync.WaitGroup
+	for si := 0; si < sg.Shards(); si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			sub := sg.Sub(si)
+			rows := make([][]float64, len(kernels))
+			for i, recs := range kernels {
+				if ctx.Err() != nil {
+					return // partial rows discarded below
+				}
+				sub.Reset()
+				sub.AccessStream(recs[:fig1Elems])
+				sub.ResetStats()
+				sub.AccessStream(recs[fig1Elems:])
+				row := make([]float64, sub.Len())
+				for k := range row {
+					row[k] = sub.StatsAt(k).MissRatio()
+				}
+				rows[i] = row
+			}
+			mrs[si] = rows
+		}(si)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return p, err
+	}
+	for i := range kernels {
+		k := 0
+		for si := 0; si < sg.Shards(); si++ {
+			for _, mr := range mrs[si][i] {
+				p.hists[k].Add(mr)
+				if mr > 0.5 {
+					p.patho[k]++
+				}
+				k++
+			}
+		}
+	}
+	return p, nil
+}
+
 // fig1Jobs decomposes the sweep into stride-chunk jobs; each job drives
 // all four schemes through one grid, one kernel materialization per
 // stride.
@@ -173,10 +251,14 @@ func fig1Jobs(cfg Fig1Config) []runner.JobOf[fig1Partial] {
 		jobs = append(jobs, runner.KeyedJob(
 			fmt.Sprintf("fig1/strides=%d-%d", lo, hi-1),
 			func(c *runner.Ctx) (fig1Partial, error) {
-				p := fig1Partial{hists: make([]*stats.Histogram, nsch), patho: make([]int, nsch)}
-				for k := range p.hists {
-					p.hists[k] = stats.NewHistogram(10)
+				// Stride chunks have no shared trace to broadcast, so intra-
+				// trace sharding here splits the scheme grid instead; with no
+				// spare cores (or a single scheme per shard not worth the
+				// goroutines) the original sequential loop runs unchanged.
+				if nsh := shardCount(cfg.Shards, nsch); nsh > 1 {
+					return fig1ChunkSharded(c, cfg, lo, hi, nsh)
 				}
+				p := newFig1Partial(nsch)
 				g := cache.NewGrid(spec)
 				mrs := make([]float64, nsch)
 				var recs []trace.Rec

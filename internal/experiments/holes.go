@@ -136,11 +136,12 @@ func RunHolesCtx(ctx context.Context, cfg HolesConfig) (HolesResult, error) {
 				// Grid cannot subsume; it rides the single-pass harness as
 				// an auxiliary consumer (one trace pass per benchmark).
 				h := hierarchy.New(hcfg)
-				err := runGrid(c, prof, cfg.Seed, cfg.Instructions, nil, func(recs []trace.Rec) {
-					for i := range recs {
-						h.Access(recs[i].Addr, recs[i].Op == trace.OpStore)
-					}
-				})
+				err := runGrid(c, prof, cfg.Seed, cfg.Instructions, cfg.Shards,
+					auxConsumer(func(recs []trace.Rec) {
+						for i := range recs {
+							h.Access(recs[i].Addr, recs[i].Op == trace.OpStore)
+						}
+					}))
 				if err != nil {
 					return suiteCell{}, err
 				}

@@ -101,18 +101,22 @@ func RunOrgsCtx(ctx context.Context, cfg OrgsConfig) (OrgResult, error) {
 	for i, prof := range suite {
 		jobs[i] = runner.KeyedJob("missratio/orgs/"+prof.Name,
 			func(c *runner.Ctx) ([]float64, error) {
-				g := cache.NewGrid(spec)
+				// Shardable state: the skewed grid points, the three
+				// stack-distance engines and the two composites.
+				nsh := shardCount(cfg.Shards, len(spec)+5)
+				g := cache.NewShardedGrid(spec, nsh)
 				dm, twoWay, fa := orgEngines()
 				vic := cache.NewVictimCache(cache.Config{
 					Size: 8 << 10, BlockSize: 32, Ways: 1, WriteAllocate: false,
 				}, 4)
 				col := cache.NewColumnAssociative(8<<10, 32, gf2.Irreducibles(8, 1)[0], 19)
-				err := runGrid(c, prof, cfg.Seed, cfg.Instructions, g,
-					func(recs []trace.Rec) { dm.AccessStream(recs) },
-					func(recs []trace.Rec) { twoWay.AccessStream(recs) },
-					func(recs []trace.Rec) { fa.AccessStream(recs) },
-					func(recs []trace.Rec) { vic.AccessStream(recs) },
-					func(recs []trace.Rec) { col.AccessStream(recs) })
+				cons := append(gridConsumers(g),
+					auxConsumer(func(recs []trace.Rec) { dm.AccessStream(recs) }),
+					auxConsumer(func(recs []trace.Rec) { twoWay.AccessStream(recs) }),
+					auxConsumer(func(recs []trace.Rec) { fa.AccessStream(recs) }),
+					auxConsumer(func(recs []trace.Rec) { vic.AccessStream(recs) }),
+					auxConsumer(func(recs []trace.Rec) { col.AccessStream(recs) }))
+				err := runGrid(c, prof, cfg.Seed, cfg.Instructions, nsh, cons...)
 				if err != nil {
 					return nil, err
 				}
@@ -234,10 +238,12 @@ func RunStdDevCtx(ctx context.Context, cfg StdDevConfig) (StdDevResult, error) {
 	for i, prof := range suite {
 		jobs[i] = runner.KeyedJob("missratio/stddev/"+prof.Name,
 			func(c *runner.Ctx) (pair, error) {
-				g := cache.NewGrid(spec)
+				nsh := shardCount(cfg.Shards, len(spec)+1)
+				g := cache.NewShardedGrid(spec, nsh)
 				conv := stackdist.New(stackdist.Config{Sets: 128, BlockSize: 32, MaxWays: 2})
-				err := runGrid(c, prof, cfg.Seed, cfg.Instructions, g,
-					func(recs []trace.Rec) { conv.AccessStream(recs) })
+				cons := append(gridConsumers(g),
+					auxConsumer(func(recs []trace.Rec) { conv.AccessStream(recs) }))
+				err := runGrid(c, prof, cfg.Seed, cfg.Instructions, nsh, cons...)
 				if err != nil {
 					return pair{}, err
 				}

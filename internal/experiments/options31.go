@@ -100,19 +100,21 @@ func RunOptions31Ctx(ctx context.Context, cfg Options31Config) (Options31Result,
 				aSmall := newAdaptiveForExperiment()
 				aSmall.SetSegment("data", 4<<10)
 				ca := newColAssocForExperiment()
-				g := cache.NewGrid(dmSpec)
-				err := runGrid(c, prof, cfg.Seed, cfg.Instructions, g,
-					func(recs []trace.Rec) {
+				nsh := shardCount(cfg.Shards, len(dmSpec)+3)
+				g := cache.NewShardedGrid(dmSpec, nsh)
+				cons := append(gridConsumers(g),
+					auxConsumer(func(recs []trace.Rec) {
 						for i := range recs {
 							aLarge.Access(recs[i].Addr, recs[i].Op == trace.OpStore)
 						}
-					},
-					func(recs []trace.Rec) {
+					}),
+					auxConsumer(func(recs []trace.Rec) {
 						for i := range recs {
 							aSmall.Access(recs[i].Addr, recs[i].Op == trace.OpStore)
 						}
-					},
-					func(recs []trace.Rec) { ca.AccessStream(recs) })
+					}),
+					auxConsumer(func(recs []trace.Rec) { ca.AccessStream(recs) }))
+				err := runGrid(c, prof, cfg.Seed, cfg.Instructions, nsh, cons...)
 				if err != nil {
 					return nil, err
 				}

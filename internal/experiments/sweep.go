@@ -12,7 +12,6 @@ import (
 	"repro/internal/index"
 	"repro/internal/runner"
 	"repro/internal/stats"
-	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -135,10 +134,14 @@ func RunSweepCtx(ctx context.Context, cfg SweepConfig) (SweepResult, error) {
 	for i, prof := range suite {
 		jobs[i] = runner.KeyedJob("sweep/"+prof.Name,
 			func(c *runner.Ctx) (benchGrid, error) {
-				g := cache.NewGrid(spec)
+				// Shard budget: the skewed grid points plus one consumer
+				// per conventional set-count engine can all advance
+				// concurrently over the shared chunk stream.
+				nsh := shardCount(cfg.Shards, len(spec)+len(setCounts))
+				g := cache.NewShardedGrid(spec, nsh)
 				fam := stackdist.NewFamily(index.SchemeModulo, setCounts, 32, maxWays, hashInBits, false, false)
-				err := runGrid(c, prof, cfg.Seed, cfg.Instructions, g,
-					func(recs []trace.Rec) { fam.AccessStream(recs) })
+				cons := append(gridConsumers(g), famConsumers(fam)...)
+				err := runGrid(c, prof, cfg.Seed, cfg.Instructions, nsh, cons...)
 				if err != nil {
 					return nil, err
 				}

@@ -21,8 +21,8 @@ func TestSweepGridMatchesPerConfig(t *testing.T) {
 	ctx := context.Background()
 	const instr, seed = 20_000, 7
 
-	g := cache.NewGrid(spec)
-	if err := runGrid(ctx, prof, seed, instr, g); err != nil {
+	g := cache.NewShardedGrid(spec, 3)
+	if err := runGrid(ctx, prof, seed, instr, 3, gridConsumers(g)...); err != nil {
 		t.Fatal(err)
 	}
 	for k, cfg := range spec {

@@ -92,6 +92,24 @@ func DeriveSeed(base uint64, key string) uint64 {
 	return rng.New(base ^ h.Sum64()).Uint64()
 }
 
+// outstanding counts not-yet-finished jobs across every concurrently
+// active Run in the process (see Outstanding).
+var outstanding atomic.Int64
+
+// Outstanding returns the number of pool jobs currently dispatched or
+// queued across all active Run calls in the process.  It is the
+// job-level half of the machine's shared concurrency budget: intra-job
+// parallelism (trace sharding) divides GOMAXPROCS by this figure, so a
+// saturated pool keeps every job sequential while the pool's tail — or
+// a single-experiment run — fans out within the job.
+func Outstanding() int {
+	n := outstanding.Load()
+	if n < 0 {
+		n = 0
+	}
+	return int(n)
+}
+
 // Run executes jobs on a bounded worker pool and streams results to
 // collect strictly in job order (collect is called from the Run
 // goroutine only, so it may feed tables and histograms without
@@ -114,6 +132,11 @@ func Run(ctx context.Context, o Options, jobs []Job, collect func(Result)) error
 	results := make(chan Result, len(jobs))
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
+	// The whole batch counts as outstanding until each job finishes;
+	// jobs never dispatched (cancellation) are settled after the pool
+	// drains.
+	outstanding.Add(int64(len(jobs)))
+	var finished atomic.Int64
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -125,6 +148,8 @@ func Run(ctx context.Context, o Options, jobs []Job, collect func(Result)) error
 				}
 				job := jobs[i]
 				v, err := job.Run(&Ctx{Context: ctx, Seed: DeriveSeed(o.Seed, job.Key)})
+				finished.Add(1)
+				outstanding.Add(-1)
 				results <- Result{Key: job.Key, Index: i, Value: v, Err: err}
 			}
 		}()
@@ -155,6 +180,9 @@ func Run(ctx context.Context, o Options, jobs []Job, collect func(Result)) error
 			}
 		}
 	}
+	// The results channel closed, so every worker has exited: settle the
+	// gauge for jobs cancellation left undispatched.
+	outstanding.Add(finished.Load() - int64(len(jobs)))
 	if err := ctx.Err(); err != nil {
 		return err
 	}

@@ -1,0 +1,117 @@
+package trace
+
+import "sync/atomic"
+
+// Broadcast fans one in-order chunk stream out to a fixed set of
+// consumers through a bounded ring of reusable chunk buffers.  A single
+// producer alternates Slot (claim an empty buffer, blocking while every
+// ring slot is still in flight — the pipeline's backpressure) and
+// Publish (hand the filled buffer to every consumer); each consumer
+// drains its own queue with Receive.  A published chunk is read-only
+// and shared: it returns to the free ring only after the last consumer
+// finishes with it, so the producer can never overwrite records a
+// consumer is still replaying.  Memory is bounded by slots × the chunk
+// capacity regardless of stream length.
+//
+// Every consumer sees every chunk, in publish order — the property the
+// sharded simulation engines need for bit-identical results: each shard
+// replays the exact record sequence a sequential engine would.
+type Broadcast struct {
+	free chan *ringChunk
+	outs []chan *ringChunk
+	cur  *ringChunk
+	err  error
+}
+
+// ringChunk is one ring slot: a reusable record buffer plus the
+// countdown of consumers still reading it.
+type ringChunk struct {
+	recs []Rec
+	refs atomic.Int32
+}
+
+// NewBroadcast builds a broadcaster for the given number of consumers
+// with a ring of slots buffers of chunkCap record capacity each.  It
+// panics on a non-positive consumer count; slots is clamped to at least
+// two so the producer can fill one chunk while another drains.
+func NewBroadcast(consumers, slots, chunkCap int) *Broadcast {
+	if consumers < 1 {
+		panic("trace: NewBroadcast needs at least one consumer")
+	}
+	if slots < 2 {
+		slots = 2
+	}
+	b := &Broadcast{
+		free: make(chan *ringChunk, slots),
+		outs: make([]chan *ringChunk, consumers),
+	}
+	for i := 0; i < slots; i++ {
+		b.free <- &ringChunk{recs: make([]Rec, 0, chunkCap)}
+	}
+	// Each consumer queue holds the whole ring, so Publish never blocks:
+	// the producer's only wait point is Slot, and the pipeline cannot
+	// deadlock as long as every consumer keeps draining.
+	for i := range b.outs {
+		b.outs[i] = make(chan *ringChunk, slots)
+	}
+	return b
+}
+
+// Slot claims an empty chunk buffer from the ring, blocking until one
+// is free.  The producer fills it (append, or reslice up to its
+// capacity and assign) and passes the filled prefix to Publish before
+// claiming the next slot.
+func (b *Broadcast) Slot() []Rec {
+	b.cur = <-b.free
+	return b.cur.recs[:0]
+}
+
+// Publish broadcasts the filled slot buffer to every consumer.  recs
+// must be a prefix of the buffer the preceding Slot call returned
+// (resliced to the filled length); an empty chunk is returned to the
+// ring without waking consumers.
+func (b *Broadcast) Publish(recs []Rec) {
+	c := b.cur
+	b.cur = nil
+	c.recs = recs
+	if len(recs) == 0 {
+		b.free <- c
+		return
+	}
+	c.refs.Store(int32(len(b.outs)))
+	for _, out := range b.outs {
+		out <- c
+	}
+}
+
+// CloseSend ends the stream, recording the producer's terminal error
+// (nil for a clean end).  Consumers drain their remaining chunks and
+// their Receive calls return err.  Must be called exactly once, after
+// the last Publish.
+func (b *Broadcast) CloseSend(err error) {
+	if b.cur != nil {
+		// A slot was claimed but never published (the producer bailed
+		// mid-fill): recycle it so the accounting stays whole.
+		b.free <- b.cur
+		b.cur = nil
+	}
+	b.err = err
+	for _, out := range b.outs {
+		close(out)
+	}
+}
+
+// Receive drains consumer k's chunk queue, invoking fn on every chunk
+// in publish order, until the stream is closed; it returns the error
+// passed to CloseSend.  fn must not retain or mutate the chunk — the
+// buffer is shared with the other consumers and recycled afterwards.
+// Each consumer index must be driven by exactly one goroutine.
+func (b *Broadcast) Receive(k int, fn func(recs []Rec)) error {
+	for c := range b.outs[k] {
+		fn(c.recs)
+		if c.refs.Add(-1) == 0 {
+			b.free <- c
+		}
+	}
+	return b.err
+}

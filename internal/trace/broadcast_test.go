@@ -1,0 +1,197 @@
+package trace
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// feedBroadcast publishes chunks[i] through b and closes the stream
+// with err, exercising the producer protocol (Slot, fill, Publish).
+func feedBroadcast(b *Broadcast, chunks [][]Rec, err error) {
+	for _, c := range chunks {
+		buf := b.Slot()
+		buf = append(buf, c...)
+		b.Publish(buf)
+	}
+	b.CloseSend(err)
+}
+
+// makeChunks builds n deterministic chunks of varying lengths.
+func makeChunks(n int) [][]Rec {
+	out := make([][]Rec, n)
+	addr := uint64(0)
+	for i := range out {
+		k := 1 + (i*7)%13
+		c := make([]Rec, k)
+		for j := range c {
+			op := OpLoad
+			if (addr^uint64(j))&1 != 0 {
+				op = OpStore
+			}
+			c[j] = Rec{Op: op, Addr: addr}
+			addr++
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// TestBroadcastDeliversInOrder checks that every consumer sees every
+// record, in publish order, regardless of consumer count or ring depth.
+func TestBroadcastDeliversInOrder(t *testing.T) {
+	chunks := makeChunks(57)
+	var want []Rec
+	for _, c := range chunks {
+		want = append(want, c...)
+	}
+	for _, consumers := range []int{1, 2, 3, 8} {
+		for _, slots := range []int{2, 3, 8} {
+			b := NewBroadcast(consumers, slots, 16)
+			got := make([][]Rec, consumers)
+			var wg sync.WaitGroup
+			for k := 0; k < consumers; k++ {
+				wg.Add(1)
+				go func(k int) {
+					defer wg.Done()
+					if err := b.Receive(k, func(recs []Rec) {
+						got[k] = append(got[k], recs...)
+					}); err != nil {
+						t.Errorf("consumers=%d slots=%d: Receive(%d) err = %v", consumers, slots, k, err)
+					}
+				}(k)
+			}
+			feedBroadcast(b, chunks, nil)
+			wg.Wait()
+			for k := range got {
+				if len(got[k]) != len(want) {
+					t.Fatalf("consumers=%d slots=%d: consumer %d saw %d records, want %d",
+						consumers, slots, k, len(got[k]), len(want))
+				}
+				for i := range want {
+					if got[k][i] != want[i] {
+						t.Fatalf("consumers=%d slots=%d: consumer %d record %d = %+v, want %+v",
+							consumers, slots, k, i, got[k][i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBroadcastRecyclesSlots pins the bounded-memory property: an
+// arbitrarily long stream reuses the fixed ring buffers instead of
+// allocating per chunk.
+func TestBroadcastRecyclesSlots(t *testing.T) {
+	const slots = 3
+	b := NewBroadcast(2, slots, 16)
+	seen := map[*Rec]bool{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for k := 0; k < 2; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			b.Receive(k, func(recs []Rec) {
+				mu.Lock()
+				seen[&recs[0]] = true
+				mu.Unlock()
+			})
+		}(k)
+	}
+	chunks := makeChunks(200)
+	feedBroadcast(b, chunks, nil)
+	wg.Wait()
+	if len(seen) > slots {
+		t.Errorf("stream of %d chunks touched %d distinct buffers, want <= %d ring slots",
+			len(chunks), len(seen), slots)
+	}
+}
+
+// TestBroadcastErrorAndAbandonedSlot checks that CloseSend's error
+// reaches every consumer and that a claimed-but-never-published slot
+// (producer aborting mid-fill) does not wedge the ring.
+func TestBroadcastErrorAndAbandonedSlot(t *testing.T) {
+	wantErr := errors.New("producer failed")
+	b := NewBroadcast(2, 2, 8)
+	var wg sync.WaitGroup
+	for k := 0; k < 2; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			if err := b.Receive(k, func([]Rec) {}); !errors.Is(err, wantErr) {
+				t.Errorf("Receive(%d) err = %v, want %v", k, err, wantErr)
+			}
+		}(k)
+	}
+	buf := b.Slot()
+	b.Publish(append(buf, Rec{Addr: 1}))
+	b.Slot() // claimed, then the producer hits an error before publishing
+	b.CloseSend(wantErr)
+	wg.Wait()
+	// The abandoned slot must be back in the ring: a fresh stream over
+	// the same Broadcast topology would find both slots free.  Verify by
+	// draining the free ring directly.
+	for i := 0; i < 2; i++ {
+		select {
+		case <-b.free:
+		default:
+			t.Fatalf("ring slot %d not recycled after CloseSend", i)
+		}
+	}
+}
+
+// TestBroadcastEmptyPublish checks that zero-length chunks recycle
+// straight to the ring without waking consumers.
+func TestBroadcastEmptyPublish(t *testing.T) {
+	b := NewBroadcast(1, 2, 8)
+	delivered := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		b.Receive(0, func([]Rec) { delivered++ })
+	}()
+	b.Publish(b.Slot()) // empty
+	buf := b.Slot()
+	b.Publish(append(buf, Rec{Addr: 7}))
+	b.CloseSend(nil)
+	<-done
+	if delivered != 1 {
+		t.Errorf("consumer woke %d times, want 1 (empty chunks are skipped)", delivered)
+	}
+}
+
+// TestBroadcastConcurrentFanOut drives many concurrent consumers at
+// full speed — the race-detector workout for the chunk ring's
+// publish/recycle accounting.
+func TestBroadcastConcurrentFanOut(t *testing.T) {
+	const consumers = 8
+	chunks := makeChunks(300)
+	var want uint64
+	for _, c := range chunks {
+		for _, r := range c {
+			want += r.Addr
+		}
+	}
+	b := NewBroadcast(consumers, 4, 16)
+	sums := make([]uint64, consumers)
+	var wg sync.WaitGroup
+	for k := 0; k < consumers; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			b.Receive(k, func(recs []Rec) {
+				for _, r := range recs {
+					sums[k] += r.Addr
+				}
+			})
+		}(k)
+	}
+	feedBroadcast(b, chunks, nil)
+	wg.Wait()
+	for k, s := range sums {
+		if s != want {
+			t.Errorf("consumer %d checksum = %d, want %d", k, s, want)
+		}
+	}
+}

@@ -42,8 +42,13 @@ import (
 	"repro/internal/workload"
 )
 
-// chunkLen is the replay/streaming chunk granularity (records).
-const chunkLen = 1 << 13
+// ChunkLen is the replay/streaming chunk granularity (records) — the
+// buffer capacity ReplayMem uses, and the natural slot size for callers
+// of ReplayMemChunks that ring-buffer their own chunks.
+const ChunkLen = 1 << 13
+
+// chunkLen is the internal alias the replay loops use.
+const chunkLen = ChunkLen
 
 // packedBytesPerRec is the struct-of-arrays cost of one record: 8 bytes
 // of address plus one op bit.
@@ -187,6 +192,25 @@ func packedBytes(max uint64) int64 {
 // trace is served from the memoized store when it fits the byte budget
 // and streamed straight from the generator otherwise.
 func (s *Store) ReplayMem(ctx context.Context, prof workload.Profile, seed, max uint64, fn func(recs []trace.Rec)) error {
+	buf := make([]trace.Rec, 0, chunkLen)
+	return s.ReplayMemChunks(ctx, prof, seed, max,
+		func() []trace.Rec { return buf[:0] },
+		func(recs []trace.Rec) {
+			if len(recs) > 0 {
+				fn(recs)
+			}
+		})
+}
+
+// ReplayMemChunks is ReplayMem with caller-owned chunk buffers: before
+// each chunk the store calls next for an empty buffer, decodes up to
+// cap(next()) records straight into it — one decode, no intermediate
+// copy — and hands the filled prefix to emit.  A caller that rotates
+// next through a bounded ring (trace.Broadcast) gets a zero-copy
+// producer for fan-out pipelines; record contents and order are
+// identical to ReplayMem on both the memoized and the streaming path.
+// Buffers must have non-zero capacity.
+func (s *Store) ReplayMemChunks(ctx context.Context, prof workload.Profile, seed, max uint64, next func() []trace.Rec, emit func(recs []trace.Rec)) error {
 	if max == 0 {
 		return ctx.Err()
 	}
@@ -203,7 +227,7 @@ func (s *Store) ReplayMem(ctx context.Context, prof workload.Profile, seed, max 
 		if s.used+need > s.maxBytes {
 			s.stats.Streamed++
 			s.mu.Unlock()
-			return streamMem(ctx, prof, seed, max, fn)
+			return streamMemChunks(ctx, prof, seed, max, next, emit)
 		}
 		e = &entry{prof: prof, hash: key.ProfileHash, seed: seed, charged: need}
 		s.used += need
@@ -224,7 +248,7 @@ func (s *Store) ReplayMem(ctx context.Context, prof workload.Profile, seed, max 
 				s.stats.Streamed++
 				s.mu.Unlock()
 				e.mu.Unlock()
-				return streamMem(ctx, prof, seed, max, fn)
+				return streamMemChunks(ctx, prof, seed, max, next, emit)
 			}
 			s.used += need - e.charged
 			e.charged = need
@@ -273,7 +297,7 @@ func (s *Store) ReplayMem(ctx context.Context, prof workload.Profile, seed, max 
 	addrs, stores, n := e.addrs, e.stores, e.n
 	e.mu.Unlock()
 
-	return replayPacked(ctx, addrs, stores, n, max, fn)
+	return replayPackedChunks(ctx, addrs, stores, n, max, next, emit)
 }
 
 // generate regenerates the packed trace from scratch up to max records.
@@ -385,23 +409,25 @@ func decodePacked(blob []byte, max uint64) (addrs, stores []uint64, n uint64, ok
 	return addrs, stores, n, true
 }
 
-// replayPacked decodes the first max of n packed records back into
-// trace.Rec chunks.  The arrays are an immutable snapshot, so concurrent
-// replays of one entry are safe.
-func replayPacked(ctx context.Context, addrs, stores []uint64, n, max uint64, fn func(recs []trace.Rec)) error {
+// replayPackedChunks decodes the first max of n packed records back
+// into trace.Rec chunks, each decoded directly into a buffer obtained
+// from next and delivered to emit.  The arrays are an immutable
+// snapshot, so concurrent replays of one entry are safe.
+func replayPackedChunks(ctx context.Context, addrs, stores []uint64, n, max uint64, next func() []trace.Rec, emit func(recs []trace.Rec)) error {
 	limit := n
 	if max < limit {
 		limit = max
 	}
-	buf := make([]trace.Rec, chunkLen)
 	for i := uint64(0); i < limit; {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		k := uint64(chunkLen)
+		buf := chunkBuf(next)
+		k := uint64(cap(buf))
 		if limit-i < k {
 			k = limit - i
 		}
+		buf = buf[:k]
 		for j := uint64(0); j < k; j++ {
 			idx := i + j
 			op := trace.OpLoad
@@ -410,39 +436,50 @@ func replayPacked(ctx context.Context, addrs, stores []uint64, n, max uint64, fn
 			}
 			buf[j] = trace.Rec{Op: op, Addr: addrs[idx]}
 		}
-		fn(buf[:k])
+		emit(buf)
 		i += k
 	}
 	return nil
 }
 
-// streamMem is the bounded-memory fallback: generate and deliver the
-// trace chunk by chunk without materializing it.  Records are reduced
-// to the same Op+Addr shape the packed replay delivers, so a consumer
-// sees identical record contents whichever path the budget picks.
-func streamMem(ctx context.Context, prof workload.Profile, seed, max uint64, fn func(recs []trace.Rec)) error {
+// streamMemChunks is the bounded-memory fallback: generate and deliver
+// the trace chunk by chunk without materializing it, each chunk written
+// into a buffer obtained from next.  Records are reduced to the same
+// Op+Addr shape the packed replay delivers, so a consumer sees
+// identical record contents whichever path the budget picks.
+func streamMemChunks(ctx context.Context, prof workload.Profile, seed, max uint64, next func() []trace.Rec, emit func(recs []trace.Rec)) error {
 	src := &trace.MemOnly{S: workload.NewGenerator(prof, seed)}
-	buf := make([]trace.Rec, chunkLen)
 	var done uint64
 	for done < max {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		want := uint64(chunkLen)
+		buf := chunkBuf(next)
+		want := uint64(cap(buf))
 		if max-done < want {
 			want = max - done
 		}
-		k, eof := src.ReadChunk(buf[:want])
+		buf = buf[:want]
+		k, eof := src.ReadChunk(buf)
 		for i := 0; i < k; i++ {
 			buf[i] = trace.Rec{Op: buf[i].Op, Addr: buf[i].Addr}
 		}
-		if k > 0 {
-			fn(buf[:k])
-			done += uint64(k)
-		}
+		emit(buf[:k])
+		done += uint64(k)
 		if eof {
 			break
 		}
 	}
 	return nil
+}
+
+// chunkBuf fetches the caller's next chunk buffer and enforces the
+// non-zero-capacity contract (a zero-capacity buffer would loop
+// forever delivering nothing).
+func chunkBuf(next func() []trace.Rec) []trace.Rec {
+	buf := next()
+	if cap(buf) == 0 {
+		panic("tracestore: chunk buffer must have non-zero capacity")
+	}
+	return buf[:0]
 }
