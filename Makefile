@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-cache bench-trace bench-grid bench-stackdist bench-store bench-parallel fuzz-smoke lint doccheck report ci
+.PHONY: build test race bench bench-smoke bench-cache bench-trace bench-grid bench-stackdist bench-store bench-parallel bench-serve fuzz-smoke lint doccheck report ci
 
 build:
 	$(GO) build ./...
@@ -12,7 +12,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/runner/... ./internal/cli/... ./internal/experiments/... ./internal/tracestore/... ./internal/store/... ./internal/exp/... ./internal/trace/... ./internal/cache/...
+	$(GO) test -race ./internal/runner/... ./internal/cli/... ./internal/experiments/... ./internal/tracestore/... ./internal/store/... ./internal/exp/... ./internal/trace/... ./internal/cache/... ./internal/serve/...
 
 # Full benchmark sweep (minutes).
 bench:
@@ -85,6 +85,18 @@ bench-parallel:
 	$(GO) test -run '^$$' -bench 'BenchmarkGridParallel|BenchmarkCurvesParallel' -benchmem -benchtime 1s . > bench_parallel.txt
 	$(GO) run ./cmd/benchjson -suite parallel < bench_parallel.txt > BENCH_parallel.current.json
 	@cat BENCH_parallel.current.json
+
+# Simulation-service benchmark: end-to-end `repro serve` request rate
+# through the shared load harness, cold (no cache: every request
+# simulates through the job queue) vs warm (every request served
+# synchronously by the result-cache fast path).  Same archival scheme as
+# bench-cache: BENCH_serve.current.json is gitignored, the committed
+# BENCH_serve.json is the curated before/after record (acceptance bar:
+# warm >= 50x cold req/s).
+bench-serve:
+	$(GO) test -run '^$$' -bench 'BenchmarkServeThroughput' -benchtime 1x . > bench_serve.txt
+	$(GO) run ./cmd/benchjson -suite serve < bench_serve.txt > BENCH_serve.current.json
+	@cat BENCH_serve.current.json
 
 # Short native-fuzz smoke over the trace codec and the simulation
 # engines (one target per invocation, as `go test -fuzz` requires).

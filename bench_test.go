@@ -11,8 +11,10 @@ package repro_test
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
+	"net/http/httptest"
 	"os"
 	"strings"
 	"sync"
@@ -29,6 +31,8 @@ import (
 	"repro/internal/hierarchy"
 	"repro/internal/index"
 	"repro/internal/rng"
+	"repro/internal/serve"
+	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/tracestore"
 	"repro/internal/workload"
@@ -709,6 +713,93 @@ func BenchmarkCurvesParallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Simulation-service benchmarks (make bench-serve -> BENCH_serve.json)
+// ---------------------------------------------------------------------------
+
+// BenchmarkServeThroughput measures end-to-end `repro serve` request
+// rate through the shared load harness (every request POSTs with
+// ?wait=1, so a completed request is a delivered result envelope):
+//
+//   - cold: no result cache attached — every distinct config costs a
+//     full simulation through the bounded job queue;
+//   - warm: the cache holds all swept configs — every request is served
+//     synchronously by the fast path, no job, no queue slot.
+//
+// The acceptance bar is warm >= 50x cold req/s.  Run with -benchtime 1x
+// for the per-PR BENCH_serve.json record.
+func BenchmarkServeThroughput(b *testing.B) {
+	const seeds = 8
+	const instructions = 20_000
+	body := func(i int) []byte {
+		return []byte(fmt.Sprintf(`{"experiment": "stddev", "config": {"instructions": %d, "seed": %d}}`,
+			instructions, i%seeds+1))
+	}
+	load := func(b *testing.B, base string, requests int) {
+		b.Helper()
+		res, err := serve.RunLoad(context.Background(), serve.LoadOptions{
+			BaseURL: base, Clients: 4, Requests: requests, Body: body,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Errors > 0 {
+			b.Fatalf("%d failed requests: %+v", res.Errors, res)
+		}
+		b.ReportMetric(res.ReqPerSec, "req/s")
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		s := serve.New(serve.Options{Workers: 4, MaxQueue: 256})
+		ts := httptest.NewServer(s.Handler())
+		defer func() {
+			ts.Close()
+			s.Shutdown(context.Background())
+		}()
+		for i := 0; i < b.N; i++ {
+			load(b, ts.URL, 2*seeds)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		d, err := store.Open(b.TempDir(), store.DefaultMaxBytes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rc := exp.NewResultCache(d)
+		// Populate the cache with every swept config outside the timed
+		// region, through the same decode path the server uses.
+		e, ok := exp.Get("stddev")
+		if !ok {
+			b.Fatal("stddev experiment not registered")
+		}
+		for i := 0; i < seeds; i++ {
+			var req struct {
+				Config json.RawMessage `json:"config"`
+			}
+			if err := json.Unmarshal(body(i), &req); err != nil {
+				b.Fatal(err)
+			}
+			cfg, err := exp.DecodeConfig(e, req.Config)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := exp.RunWith(context.Background(), rc, e, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		s := serve.New(serve.Options{Cache: rc, Workers: 4, MaxQueue: 256})
+		ts := httptest.NewServer(s.Handler())
+		defer func() {
+			ts.Close()
+			s.Shutdown(context.Background())
+		}()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			load(b, ts.URL, 25*seeds)
+		}
+	})
 }
 
 // ---------------------------------------------------------------------------

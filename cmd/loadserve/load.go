@@ -1,0 +1,23 @@
+package main
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/serve"
+)
+
+// serveLoad builds the seed-sweeping request body generator and runs
+// the shared load harness against the server at base.
+func serveLoad(ctx context.Context, base string, clients, n int, experiment string, instructions, seeds int) (serve.LoadResult, error) {
+	body := func(i int) []byte {
+		return []byte(fmt.Sprintf(`{"experiment": %q, "config": {"instructions": %d, "seed": %d}}`,
+			experiment, instructions, i%seeds+1))
+	}
+	return serve.RunLoad(ctx, serve.LoadOptions{
+		BaseURL:  base,
+		Clients:  clients,
+		Requests: n,
+		Body:     body,
+	})
+}

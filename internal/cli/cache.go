@@ -79,7 +79,9 @@ func (o *cacheOptions) traceDelta() tracestore.Stats {
 // ts is the packed-trace tier's traffic for the same invocation: disk
 // hits are trace materializations served from the artifact store
 // instead of regenerated, disk puts the traces persisted for the next.
-func cacheStatsLine(st exp.CacheStats, ts tracestore.Stats) string {
+// ds is the underlying artifact store's own counters, rendered by the
+// shared store.Stats.Line formatter that /v1/stats reuses.
+func cacheStatsLine(st exp.CacheStats, ts tracestore.Stats, ds store.Stats) string {
 	line := fmt.Sprintf("repro all: cache %d hits, %d misses, %d stored", st.Hits, st.Misses, st.Writes)
 	switch {
 	case st.Resampled == "":
@@ -90,5 +92,6 @@ func cacheStatsLine(st exp.CacheStats, ts tracestore.Stats) string {
 		line += fmt.Sprintf("; integrity resample %s: DIVERGED", st.Resampled)
 	}
 	line += fmt.Sprintf("; traces: %d disk hits, %d disk puts", ts.DiskHits, ts.DiskPuts)
+	line += "; " + ds.Line()
 	return line
 }

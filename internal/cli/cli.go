@@ -10,7 +10,6 @@ package cli
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -50,6 +49,8 @@ func Run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 		return listMain(rest, stdout, stderr)
 	case "all":
 		return allMain(ctx, rest, stdout, stderr)
+	case "serve":
+		return serveMain(ctx, rest, stdout, stderr)
 	case "gates":
 		return gatesMain(rest, stdout, stderr)
 	case "stridescan":
@@ -79,11 +80,10 @@ func parseFlags(fs *flag.FlagSet, args []string) (code int, proceed bool) {
 	}
 }
 
-// emitJSON writes v as indented JSON.
+// emitJSON writes v through the shared canonical encoder (exp.WriteJSON)
+// so CLI output stays byte-comparable with the HTTP service's.
 func emitJSON(v any, stdout, stderr io.Writer) int {
-	enc := json.NewEncoder(stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
+	if err := exp.WriteJSON(stdout, v); err != nil {
 		fmt.Fprintf(stderr, "repro: %v\n", err)
 		return 1
 	}
@@ -241,7 +241,7 @@ func allMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if rc != nil {
-		fmt.Fprintln(stderr, cacheStatsLine(rc.Stats(), cache.traceDelta()))
+		fmt.Fprintln(stderr, cacheStatsLine(rc.Stats(), cache.traceDelta(), rc.StoreStats()))
 	}
 	if len(env.Errors) > 0 {
 		fmt.Fprintf(stderr, "repro all: %d of %d experiments failed:\n", len(env.Errors), len(all))
@@ -285,6 +285,8 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, "\nUsage:\n  repro <experiment> [flags from the experiment's parameter spec] [-json]")
 	fmt.Fprintln(w, "  repro all [flags]       run every registered experiment")
 	fmt.Fprintln(w, "  repro list [-json]      list experiments with their parameter specs")
+	fmt.Fprintln(w, "  repro serve [flags]     serve experiments over HTTP (bounded job queue,")
+	fmt.Fprintln(w, "                          result-cache fast path; see `repro serve -h`)")
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, "Experiments (run `repro list` for parameters, `repro <name> -h` for help):")
 	for _, s := range exp.Specs() {

@@ -1,0 +1,72 @@
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// serveMain runs the multi-tenant HTTP simulation service (`repro
+// serve`): the experiment registry exposed as a REST API with a bounded
+// job queue, a result-cache fast path and graceful drain on
+// SIGINT/SIGTERM.  The listen address is announced on stderr (useful
+// with -addr :0), and the process runs until ctx is cancelled.
+func serveMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("repro serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	maxQueue := fs.Int("max-queue", serve.DefaultMaxQueue, "job-queue capacity; a full queue rejects submissions with 429 + Retry-After")
+	workers := fs.Int("job-workers", 0, "concurrent simulation jobs (0 = GOMAXPROCS); shards share the core budget")
+	drain := fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown deadline: in-flight jobs past it are canceled")
+	cache := addCacheFlags(fs)
+	if code, ok := parseFlags(fs, args); !ok {
+		return code
+	}
+	rc, closeCache := cache.open(stderr)
+	defer closeCache()
+
+	srv := serve.New(serve.Options{Cache: rc, MaxQueue: *maxQueue, Workers: *workers})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "repro serve: %v\n", err)
+		return 1
+	}
+	cacheDesc := "disabled"
+	if rc != nil {
+		cacheDesc = cache.dir
+	}
+	fmt.Fprintf(stderr, "repro serve: listening on http://%s (queue %d, cache %s)\n",
+		ln.Addr(), *maxQueue, cacheDesc)
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		fmt.Fprintf(stderr, "repro serve: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Drain: reject new submissions immediately, give queued and running
+	// jobs until the deadline, then cancel what is left.  The HTTP
+	// server closes after the queue so long-polling clients see their
+	// jobs' final states.
+	fmt.Fprintf(stderr, "repro serve: draining (deadline %v)\n", *drain)
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		fmt.Fprintln(stderr, "repro serve: drain deadline exceeded; in-flight jobs canceled")
+	}
+	if err := hs.Shutdown(sctx); err != nil {
+		hs.Close()
+	}
+	fmt.Fprintln(stderr, "repro serve: stopped")
+	return 0
+}

@@ -1,0 +1,155 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/store"
+	"repro/internal/tracestore"
+)
+
+// syncBuffer is a bytes.Buffer safe for the serveMain goroutine and the
+// test to share.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (http://[^ ]+)`)
+
+// startServe runs `repro serve` in-process on a free port and returns
+// its base URL plus a stop function asserting a clean (code 0) exit.
+func startServe(t *testing.T, extra ...string) (string, func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var stdout bytes.Buffer
+	stderr := &syncBuffer{}
+	exit := make(chan int, 1)
+	args := append([]string{"serve", "-addr", "127.0.0.1:0"}, extra...)
+	go func() { exit <- Run(ctx, args, &stdout, stderr) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	var base string
+	for base == "" {
+		if m := listenRE.FindStringSubmatch(stderr.String()); m != nil {
+			base = m[1]
+			break
+		}
+		select {
+		case code := <-exit:
+			t.Fatalf("repro serve exited early with %d: %s", code, stderr.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address: %s", stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return base, func() {
+		cancel()
+		select {
+		case code := <-exit:
+			if code != 0 {
+				t.Errorf("repro serve exited %d after drain: %s", code, stderr.String())
+			}
+		case <-time.After(15 * time.Second):
+			t.Error("repro serve did not stop after cancellation")
+		}
+		out := stderr.String()
+		if !strings.Contains(out, "draining") || !strings.Contains(out, "stopped") {
+			t.Errorf("drain lifecycle not announced on stderr:\n%s", out)
+		}
+	}
+}
+
+// TestServeEndToEnd is the cross-layer smoke: the served result
+// envelope is byte-identical to the direct CLI's -json output, the warm
+// resubmission rides the cache fast path with the same bytes, the
+// experiment listing matches `repro list -json`, and cancellation
+// drains to a zero exit.
+func TestServeEndToEnd(t *testing.T) {
+	// Direct CLI outputs first: serveMain installs the process-global
+	// cache while it runs, and -no-cache runs must not race with it.
+	direct := runCLI(t, "stddev", "-instructions", "4000", "-seed", "7", "-no-cache", "-json")
+	listing := runCLI(t, "list", "-json")
+
+	base, stop := startServe(t, "-cache-dir", t.TempDir(), "-job-workers", "2")
+	defer stop()
+	body := `{"experiment": "stddev", "config": {"instructions": 4000, "seed": 7}}`
+
+	post := func() (*http.Response, string) {
+		resp, err := http.Post(base+"/v1/jobs?wait=1", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, string(b)
+	}
+
+	resp, cold := post()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold submission: HTTP %d: %s", resp.StatusCode, cold)
+	}
+	if cold != direct {
+		t.Errorf("served envelope differs from `repro stddev -json`:\n--- served\n%s\n--- direct\n%s", cold, direct)
+	}
+
+	resp, warm := post()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Repro-Cache") != "hit" {
+		t.Fatalf("warm submission: HTTP %d, cache header %q", resp.StatusCode, resp.Header.Get("X-Repro-Cache"))
+	}
+	if warm != direct {
+		t.Errorf("fast-path envelope differs from `repro stddev -json`")
+	}
+
+	lresp, err := http.Get(base + "/v1/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, err := io.ReadAll(lresp.Body)
+	lresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(served) != listing {
+		t.Errorf("/v1/experiments differs from `repro list -json` (%d vs %d bytes)", len(served), len(listing))
+	}
+}
+
+// TestCacheStatsLineEndsWithStoreLine pins the shared-formatter
+// contract: the `repro all` stderr summary renders the artifact store's
+// counters through the exact store.Stats.Line string /v1/stats serves.
+func TestCacheStatsLineEndsWithStoreLine(t *testing.T) {
+	ds := store.Stats{Hits: 3, Misses: 2, Writes: 4, Evictions: 1, Corruptions: 1}
+	line := cacheStatsLine(exp.CacheStats{Hits: 1, Misses: 2, Writes: 2}, tracestore.Stats{}, ds)
+	if !strings.HasSuffix(line, "; "+ds.Line()) {
+		t.Errorf("stats line %q does not end with the shared store line %q", line, ds.Line())
+	}
+	if !strings.Contains(line, "store: 3 hits, 2 misses, 4 writes, 1 evictions, 1 corruptions") {
+		t.Errorf("store.Stats.Line rendering changed: %q", line)
+	}
+}

@@ -78,16 +78,16 @@ func ReportRev(e Experiment) string {
 // CLI's cache-stats line.
 type CacheStats struct {
 	// Hits counts reports served from the store.
-	Hits uint64
+	Hits uint64 `json:"hits"`
 	// Misses counts reports that had to be simulated.
-	Misses uint64
+	Misses uint64 `json:"misses"`
 	// Writes counts fresh reports persisted to the store.
-	Writes uint64
+	Writes uint64 `json:"writes"`
 	// Resampled names the experiment re-simulated as the integrity
 	// check, or "" if the verify target was never served from cache.
-	Resampled string
+	Resampled string `json:"resampled,omitempty"`
 	// ResampleOK reports whether the resample matched byte-for-byte.
-	ResampleOK bool
+	ResampleOK bool `json:"resample_ok,omitempty"`
 }
 
 // ResultCache serves experiment reports from a content-addressed
@@ -124,6 +124,40 @@ func (c *ResultCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.stats
+}
+
+// StoreStats returns the underlying artifact store's traffic counters —
+// the raw store-level view beneath this cache's report-level Stats,
+// shared by the CLI's end-of-run stats line and the service's
+// /v1/stats endpoint.
+func (c *ResultCache) StoreStats() store.Stats {
+	return c.disk.Stats()
+}
+
+// Cached consults the store for an already-computed report of (e, cfg)
+// without ever simulating: the fast path a service probes before
+// enqueueing a job.  A verified hit counts toward Stats like any other
+// served report; a miss leaves the counters alone (the run that follows
+// accounts for itself).  The integrity-resample designation is not
+// consumed here — probes must stay cheap and side-effect-free.
+func (c *ResultCache) Cached(e Experiment, cfg Config) (*Report, bool) {
+	key, err := ReportKey(e, cfg)
+	if err != nil {
+		return nil, false
+	}
+	blob, ok := c.disk.Get(ReportKind, key, ReportRev(e))
+	if !ok {
+		return nil, false
+	}
+	rep, ok := decodeCached(e, blob)
+	if !ok {
+		return nil, false
+	}
+	c.mu.Lock()
+	c.stats.Hits++
+	c.mu.Unlock()
+	rep.Workers = cfg.BaseConfig().Workers
+	return rep, true
 }
 
 // run is the cached counterpart of runFresh: consult the store, fall

@@ -100,10 +100,18 @@ func All() []Experiment {
 // from the content-addressed store on a key hit and simulated (then
 // persisted) otherwise.
 func Run(ctx context.Context, e Experiment, cfg Config) (*Report, error) {
+	return RunWith(ctx, currentCache(), e, cfg)
+}
+
+// RunWith is Run against an explicit result cache instead of the
+// process-wide one: long-lived services hold their own cache handle so
+// their behaviour does not depend on mutable global state.  A nil cache
+// always simulates fresh.
+func RunWith(ctx context.Context, c *ResultCache, e Experiment, cfg Config) (*Report, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("%s: invalid config: %w", e.Name, err)
 	}
-	if c := currentCache(); c != nil {
+	if c != nil {
 		return c.run(ctx, e, cfg)
 	}
 	return runFresh(ctx, e, cfg)

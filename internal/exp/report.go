@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -9,6 +10,17 @@ import (
 
 	"repro/internal/stats"
 )
+
+// WriteJSON writes v in the canonical machine-readable form every
+// emitter shares — the CLI's `-json` output and the HTTP service's
+// envelope, listing and result endpoints: two-space-indented JSON
+// followed by a single newline.  One encoder means CLI and service
+// output can be byte-compared, and the contract tests do.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
 
 // ReportSchema tags the JSON envelope of a single experiment report.
 // Bump it when the Report wire shape changes incompatibly.

@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadOptions configures RunLoad, the service load harness shared by
+// cmd/loadserve and the serve throughput benchmark.
+type LoadOptions struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Clients is the number of concurrent clients.
+	Clients int
+	// Requests is the total number of submissions across all clients.
+	Requests int
+	// Body supplies the i-th submission body (0 <= i < Requests);
+	// varying it sweeps configs, repeating it exercises coalescing and
+	// the cache fast path.
+	Body func(i int) []byte
+	// Client overrides the http.Client (nil uses a dedicated one with
+	// ample idle connections for Clients-way concurrency).
+	Client *http.Client
+}
+
+// LoadResult summarizes one load run.  Every request is submitted with
+// ?wait=1, so a completed request means a delivered result envelope —
+// throughput is end-to-end serve rate, not accept rate.
+type LoadResult struct {
+	Requests int `json:"requests"`
+	// FastPath counts responses served synchronously from the result
+	// cache (X-Repro-Cache: hit).
+	FastPath int `json:"fastpath"`
+	// Simulated counts responses that went through the job queue.
+	Simulated int `json:"simulated"`
+	Errors    int `json:"errors"`
+	// WallMS is the whole run's wall clock.
+	WallMS float64 `json:"wall_ms"`
+	// ReqPerSec is Requests-Errors completed per second of wall clock.
+	ReqPerSec float64 `json:"req_per_sec"`
+	// Latency percentiles over successful requests, milliseconds.
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	MaxMS float64 `json:"max_ms"`
+}
+
+// RunLoad drives Clients concurrent clients through Requests total
+// submissions against a running server and reports throughput and
+// latency.  The first error that is not a per-request HTTP failure
+// (e.g. the server is unreachable) aborts the run.
+func RunLoad(ctx context.Context, o LoadOptions) (LoadResult, error) {
+	if o.Clients <= 0 {
+		o.Clients = 1
+	}
+	if o.Requests <= 0 {
+		o.Requests = o.Clients
+	}
+	client := o.Client
+	if client == nil {
+		tr := &http.Transport{MaxIdleConnsPerHost: o.Clients}
+		client = &http.Client{Transport: tr}
+		defer tr.CloseIdleConnections()
+	}
+	url := o.BaseURL + "/v1/jobs?wait=1"
+
+	var next atomic.Int64
+	var fastpath, simulated, errs atomic.Int64
+	lat := make([][]time.Duration, o.Clients)
+	var firstErr error
+	var errOnce sync.Once
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < o.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= o.Requests || ctx.Err() != nil {
+					return
+				}
+				t0 := time.Now()
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(o.Body(i)))
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := client.Do(req)
+				if err != nil {
+					if ctx.Err() == nil {
+						errOnce.Do(func() { firstErr = err })
+					}
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode != http.StatusOK:
+					errs.Add(1)
+				case resp.Header.Get("X-Repro-Cache") == "hit":
+					fastpath.Add(1)
+					lat[c] = append(lat[c], time.Since(t0))
+				default:
+					simulated.Add(1)
+					lat[c] = append(lat[c], time.Since(t0))
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if firstErr != nil {
+		return LoadResult{}, fmt.Errorf("load run: %w", firstErr)
+	}
+
+	var all []time.Duration
+	for _, l := range lat {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res := LoadResult{
+		Requests:  o.Requests,
+		FastPath:  int(fastpath.Load()),
+		Simulated: int(simulated.Load()),
+		Errors:    int(errs.Load()),
+		WallMS:    float64(wall.Nanoseconds()) / 1e6,
+	}
+	if ok := len(all); ok > 0 {
+		res.ReqPerSec = float64(ok) / wall.Seconds()
+		res.P50MS = float64(all[ok/2].Nanoseconds()) / 1e6
+		res.P95MS = float64(all[ok*95/100].Nanoseconds()) / 1e6
+		res.MaxMS = float64(all[ok-1].Nanoseconds()) / 1e6
+	}
+	return res, nil
+}

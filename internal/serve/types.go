@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"encoding/json"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/store"
+)
+
+// State is a job's lifecycle stage as reported by the API.
+type State string
+
+// The five lifecycle states.  Queued jobs may move to running or
+// straight to canceled; running jobs end done, failed or canceled;
+// terminal states never change.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// terminal reports whether st is an end state.
+func terminal(st State) bool {
+	return st == StateDone || st == StateFailed || st == StateCanceled
+}
+
+// JobSchema tags every JobStatus document.
+const JobSchema = "repro/serve-job/v1"
+
+// StatsSchema tags the /v1/stats document.
+const StatsSchema = "repro/serve-stats/v1"
+
+// submitRequest is the POST /v1/jobs body.  Config is decoded strictly
+// against the experiment's typed config (exp.DecodeConfig): unknown
+// fields and wrong-typed values are rejected, absent fields take the
+// experiment's defaults.
+type submitRequest struct {
+	Experiment string          `json:"experiment"`
+	Config     json.RawMessage `json:"config"`
+}
+
+// JobStatus is the wire form of a job, returned by submission (202),
+// GET /v1/jobs/{id} and DELETE /v1/jobs/{id}.
+type JobStatus struct {
+	Schema     string `json:"schema"`
+	ID         string `json:"id"`
+	Experiment string `json:"experiment"`
+	// Key is the content address (exp.ReportKey) the job coalesces and
+	// caches under.
+	Key   string `json:"key"`
+	State State  `json:"state"`
+	// QueuePosition is the 1-based place among queued jobs, present
+	// while queued.
+	QueuePosition int `json:"queue_position,omitempty"`
+	// RunningMS is how long the job has been executing, present while
+	// running.
+	RunningMS int64 `json:"running_ms,omitempty"`
+	// Coalesced counts identical submissions attached beyond the first.
+	Coalesced int `json:"coalesced,omitempty"`
+	// Error carries the failure or cancellation cause in terminal
+	// failed/canceled states.
+	Error       string     `json:"error,omitempty"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+}
+
+// ErrorBody is the JSON error document every non-2xx response carries.
+type ErrorBody struct {
+	Error string `json:"error"`
+}
+
+// StatsResponse is the GET /v1/stats document: queue and worker gauges,
+// cumulative service counters, current job-state tallies, and — when a
+// result cache is attached — the report-cache and artifact-store
+// counters, with the store's canonical one-line rendering (the same
+// store.Stats.Line the CLI prints) in StoreLine.
+type StatsResponse struct {
+	Schema        string `json:"schema"`
+	Draining      bool   `json:"draining"`
+	QueueDepth    int    `json:"queue_depth"`
+	QueueCapacity int    `json:"queue_capacity"`
+	Workers       int    `json:"workers"`
+
+	Submitted   uint64 `json:"submitted"`
+	Coalesced   uint64 `json:"coalesced"`
+	FastPath    uint64 `json:"fastpath_hits"`
+	Rejected    uint64 `json:"rejected"`
+	Completed   uint64 `json:"completed"`
+	Failed      uint64 `json:"failed"`
+	CanceledSim uint64 `json:"canceled"`
+
+	Jobs map[State]int `json:"jobs"`
+
+	Cache     *exp.CacheStats `json:"cache,omitempty"`
+	Store     *store.Stats    `json:"store,omitempty"`
+	StoreLine string          `json:"store_line,omitempty"`
+}
+
+// HealthBody is the GET /healthz document.
+type HealthBody struct {
+	Status string `json:"status"`
+}

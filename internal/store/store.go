@@ -69,15 +69,25 @@ type Manifest struct {
 // Stats counts store traffic since Open.
 type Stats struct {
 	// Hits and Misses count Get outcomes.
-	Hits, Misses uint64
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
 	// Writes counts successful Puts.
-	Writes uint64
+	Writes uint64 `json:"writes"`
 	// Evictions counts entries removed by the byte budget.
-	Evictions uint64
+	Evictions uint64 `json:"evictions"`
 	// Corruptions counts entries dropped because verification failed
 	// (unreadable or mismatched manifest, truncated or bit-flipped
 	// blob); each one also counts as a miss.
-	Corruptions uint64
+	Corruptions uint64 `json:"corruptions"`
+}
+
+// Line renders the counters as the canonical one-line summary.  It is
+// the single formatter behind both the CLI's end-of-run stderr stats
+// line and the HTTP service's /v1/stats store_line field, so the two
+// can never drift; a contract test pins each consumer to it.
+func (s Stats) Line() string {
+	return fmt.Sprintf("store: %d hits, %d misses, %d writes, %d evictions, %d corruptions",
+		s.Hits, s.Misses, s.Writes, s.Evictions, s.Corruptions)
 }
 
 // Store is an on-disk content-addressed artifact store.  All methods
