@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-cache bench-trace bench-grid bench-stackdist bench-store bench-parallel bench-serve fuzz-smoke lint doccheck report ci
+.PHONY: build test race bench bench-smoke bench-cache bench-trace bench-grid bench-stackdist bench-store bench-parallel bench-serve bench-ingest fuzz-smoke lint doccheck report ci
 
 build:
 	$(GO) build ./...
@@ -97,6 +97,18 @@ bench-serve:
 	$(GO) test -run '^$$' -bench 'BenchmarkServeThroughput' -benchtime 1x . > bench_serve.txt
 	$(GO) run ./cmd/benchjson -suite serve < bench_serve.txt > BENCH_serve.current.json
 	@cat BENCH_serve.current.json
+
+# External-trace ingestion benchmark: cold decode (sniff + gunzip + din
+# parse + pack) of a 200k-record gzipped din file, then the replay
+# experiment on the ingested trace at 1/2/8 time shards.  Same archival
+# scheme as bench-cache: BENCH_ingest.current.json is gitignored, the
+# committed BENCH_ingest.json is the curated before/after record (read
+# its notes: the sharded speedup needs spare cores; a 1-core host
+# measures the sharding overhead floor).
+bench-ingest:
+	$(GO) test -run '^$$' -bench 'BenchmarkIngest' -benchmem -benchtime 1s . > bench_ingest.txt
+	$(GO) run ./cmd/benchjson -suite ingest < bench_ingest.txt > BENCH_ingest.current.json
+	@cat BENCH_ingest.current.json
 
 # Short native-fuzz smoke over the trace codec and the simulation
 # engines (one target per invocation, as `go test -fuzz` requires).

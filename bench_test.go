@@ -10,12 +10,14 @@ package repro_test
 
 import (
 	"bytes"
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -851,4 +853,104 @@ func BenchmarkReproAllStore(b *testing.B) {
 			reproAllCached(b, dir)
 		}
 	})
+}
+
+// ---------------------------------------------------------------------------
+// External-trace ingestion benchmarks (make bench-ingest -> BENCH_ingest.json)
+// ---------------------------------------------------------------------------
+
+// writeIngestTrace exports the first n memory records of a benchmark as
+// a gzip-compressed din file — the external interchange shape the
+// ingestion path is benchmarked on — and returns its path.
+func writeIngestTrace(b *testing.B, bench string, seed, n uint64) string {
+	b.Helper()
+	prof := mustProf(b, bench)
+	path := filepath.Join(b.TempDir(), bench+".din.gz")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	zw := gzip.NewWriter(f)
+	dw := trace.NewDinWriter(zw)
+	src := &trace.Limit{S: &trace.MemOnly{S: workload.Source(prof, seed)}, N: n}
+	buf := make([]trace.Rec, 4096)
+	for {
+		k, eof := src.ReadChunk(buf)
+		if err := dw.WriteChunk(buf[:k]); err != nil {
+			b.Fatal(err)
+		}
+		if eof {
+			break
+		}
+	}
+	if err := dw.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return path
+}
+
+// BenchmarkIngest measures external-trace ingestion end to end on a
+// 200k-record gzipped din file:
+//
+//   - decode: sniff + gunzip + din parse + pack into a cold trace
+//     store, paid once per distinct trace (every replay after that is
+//     served from the packed records);
+//   - replay/timeshards=K: the replay experiment on the ingested trace
+//     with the packed records already materialized — K=1 is the
+//     sequential reference, K=2/8 the time-sharded runs whose counters
+//     the differential tests pin byte-identical.
+//
+// The sharded wall-clock win needs spare cores: on a 1-core host the
+// K>1 runs measure the sharding overhead floor (per-shard warm-up
+// replay plus job dispatch), not a speedup.
+func BenchmarkIngest(b *testing.B) {
+	const nrecs = 200_000
+	const seed = 1997
+	path := writeIngestTrace(b, "gcc", seed, nrecs)
+	prof, err := workload.ExternalProfile(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+
+	b.Run("decode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			st := tracestore.New(tracestore.DefaultMaxBytes)
+			var n uint64
+			if err := st.ReplayMem(ctx, prof, seed, nrecs, func(recs []trace.Rec) { n += uint64(len(recs)) }); err != nil {
+				b.Fatal(err)
+			}
+			if n != nrecs {
+				b.Fatalf("decoded %d records, want %d", n, nrecs)
+			}
+		}
+	})
+
+	cfg := experiments.ReplayConfig{Base: exp.Base{Instructions: nrecs, Seed: seed}}
+	cfg.TraceFile = path
+	// Materialize the packed trace in the experiments store outside the
+	// timed regions, so the replay numbers measure shard scaling, not
+	// file decode.
+	if _, err := experiments.RunReplayCtx(ctx, cfg); err != nil {
+		b.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("replay/timeshards=%d", shards), func(b *testing.B) {
+			cc := cfg
+			cc.TimeShards = shards
+			for i := 0; i < b.N; i++ {
+				res := benchRun(b, experiments.RunReplayCtx, cc)
+				if res.Records != nrecs {
+					b.Fatalf("replayed %d records, want %d", res.Records, nrecs)
+				}
+			}
+		})
+	}
 }

@@ -82,6 +82,31 @@ type Config struct {
 	Seed uint64
 }
 
+// CheckGeometry validates a (size, block, ways) cache geometry without
+// constructing anything: exactly the conditions numSets enforces by
+// panicking, surfaced as an error so the CLI and experiment configs can
+// reject bad flag values with a usage message instead of a crash.
+func CheckGeometry(size, block, ways int) error {
+	switch {
+	case size <= 0:
+		return fmt.Errorf("cache size must be positive (got %d)", size)
+	case block <= 0:
+		return fmt.Errorf("block size must be positive (got %d)", block)
+	case ways <= 0:
+		return fmt.Errorf("ways must be positive (got %d)", ways)
+	case block&(block-1) != 0:
+		return fmt.Errorf("block size must be a power of two (got %d)", block)
+	case size%block != 0:
+		return fmt.Errorf("cache size %d is not a multiple of block size %d", size, block)
+	case (size/block)%ways != 0:
+		return fmt.Errorf("%d blocks do not divide evenly into %d ways", size/block, ways)
+	}
+	if sets := size / block / ways; sets&(sets-1) != 0 {
+		return fmt.Errorf("set count %d (= size/block/ways) must be a power of two", sets)
+	}
+	return nil
+}
+
 // SetBits returns log2 of the implied number of sets.
 func (c Config) SetBits() int {
 	sets := c.numSets()

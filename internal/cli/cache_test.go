@@ -46,12 +46,12 @@ func TestCacheWarmRunByteIdentical(t *testing.T) {
 	if !bytes.Equal(cold.Bytes(), warm.Bytes()) {
 		t.Errorf("warm envelope differs from cold (%d vs %d bytes)", warm.Len(), cold.Len())
 	}
-	// Seed 7 against the 13-experiment registry selects options31 for
+	// Seed 7 against the 14-experiment registry selects options31 for
 	// the resample; every report (including it) counts as a hit.
 	n := len(exp.All())
 	s := warmErr.String()
 	for _, want := range []string{
-		"cache 13 hits, 0 misses, 0 stored",
+		"cache 14 hits, 0 misses, 0 stored",
 		"integrity resample options31: ok",
 		// Disk-tier trace traffic is reported too; exact counts depend on
 		// what earlier in-process runs left in the shared memory store, so

@@ -295,8 +295,8 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, "\nTools:")
 	fmt.Fprintln(w, "  gates       I-Poly index hardware audit (irreducible polynomials, XOR fan-in)")
 	fmt.Fprintln(w, "  stridescan  dissect one stride of the Figure 1 kernel across schemes")
-	fmt.Fprintln(w, "  tracegen    write a synthetic benchmark trace to a file")
-	fmt.Fprintln(w, "  tracesim    replay a binary trace through a cache configuration")
+	fmt.Fprintln(w, "  tracegen    write a synthetic benchmark trace (bin, text or din format)")
+	fmt.Fprintln(w, "  tracesim    replay a trace file (bin/text/din, optionally .gz) through a cache")
 	fmt.Fprintln(w, "\nExperiment sweeps run on a bounded worker pool (-workers, default")
 	fmt.Fprintln(w, "GOMAXPROCS); inside each job the trace is broadcast once to sharded")
 	fmt.Fprintln(w, "simulation state (-shards, 0 = auto from spare cores).  Results are")

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"repro/internal/cache"
 	"repro/internal/gf2"
@@ -115,10 +116,17 @@ func stridescanMain(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// chunkWriter is the common shape of the trace encoders tracegen can
+// target: batch encode plus a final flush.
+type chunkWriter interface {
+	WriteChunk(recs []trace.Rec) error
+	Flush() error
+}
+
 // tracegenMain writes a synthetic benchmark trace to a file in the
-// repository's binary trace format (or human-readable text), so traces
-// can be archived, diffed, or replayed by `repro tracesim` and external
-// tools.
+// repository's binary trace format, its text form, or the Dinero din
+// format, so traces can be archived, diffed, or replayed by `repro
+// tracesim`, the replay experiment and external tools.
 func tracegenMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("repro tracegen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -126,10 +134,25 @@ func tracegenMain(ctx context.Context, args []string, stdout, stderr io.Writer) 
 	n := fs.Uint64("n", 100_000, "instructions to emit")
 	seed := fs.Uint64("seed", 1997, "generator seed")
 	out := fs.String("o", "", "output file (default <bench>.trace)")
-	text := fs.Bool("text", false, "write text format instead of binary")
+	format := fs.String("format", "", "output format: bin, text, or din (default bin)")
+	text := fs.Bool("text", false, "shorthand for -format text")
 	memOnly := fs.Bool("mem", false, "emit only loads and stores")
 	if code, ok := parseFlags(fs, args); !ok {
 		return code
+	}
+
+	kind := *format
+	if kind == "" {
+		if *text {
+			kind = "text"
+		} else {
+			kind = "bin"
+		}
+	}
+	ext := map[string]string{"bin": ".trace", "text": ".trace.txt", "din": ".din"}[kind]
+	if ext == "" {
+		fmt.Fprintf(stderr, "tracegen: unknown format %q (want bin, text or din)\n", kind)
+		return 2
 	}
 
 	prof, ok := workload.ByName(*bench)
@@ -142,10 +165,7 @@ func tracegenMain(ctx context.Context, args []string, stdout, stderr io.Writer) 
 	}
 	path := *out
 	if path == "" {
-		path = prof.Name + ".trace"
-		if *text {
-			path = prof.Name + ".trace.txt"
-		}
+		path = prof.Name + ext
 	}
 
 	var s trace.Source = &trace.Limit{S: workload.Source(prof, *seed), N: *n}
@@ -153,59 +173,77 @@ func tracegenMain(ctx context.Context, args []string, stdout, stderr io.Writer) 
 		s = &trace.Limit{S: &trace.MemOnly{S: workload.Source(prof, *seed)}, N: *n}
 	}
 
-	f, err := os.Create(path)
+	// Write to a temp file in the destination directory and rename over
+	// the target only after a clean flush and close: an interrupted or
+	// failed run leaves any previous trace intact instead of a silently
+	// truncated file that a later replay would misread as a short trace.
+	dir, base := filepath.Dir(path), filepath.Base(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
 	if err != nil {
 		fmt.Fprintf(stderr, "tracegen: %v\n", err)
 		return 1
 	}
-	defer f.Close()
+	fail := func(err error) int {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		fmt.Fprintf(stderr, "tracegen: %v\n", err)
+		return 1
+	}
 
+	var w chunkWriter
+	switch kind {
+	case "text":
+		w = trace.NewTextWriter(tmp)
+	case "din":
+		w = trace.NewDinWriter(tmp)
+	default:
+		w = trace.NewWriter(tmp)
+	}
+	// Chunked generate-encode loop: the generator fills buf in place and
+	// the writer encodes the whole batch, so memory stays bounded at one
+	// chunk regardless of -n for every output format.
 	count := 0
-	if *text {
-		recs := trace.Collect(s, 0)
-		if err := trace.WriteText(f, recs); err != nil {
-			fmt.Fprintf(stderr, "tracegen: %v\n", err)
-			return 1
+	buf := make([]trace.Rec, 4096)
+	for {
+		if ctx.Err() != nil {
+			return fail(ctx.Err())
 		}
-		count = len(recs)
-	} else {
-		// Chunked generate-encode loop: the generator fills buf in place
-		// and the writer encodes the whole batch, so memory stays bounded
-		// at one chunk regardless of -n.
-		w := trace.NewWriter(f)
-		buf := make([]trace.Rec, 4096)
-		for {
-			if ctx.Err() != nil {
-				fmt.Fprintf(stderr, "tracegen: %v\n", ctx.Err())
-				return 1
-			}
-			k, eof := s.ReadChunk(buf)
-			if err := w.WriteChunk(buf[:k]); err != nil {
-				fmt.Fprintf(stderr, "tracegen: %v\n", err)
-				return 1
-			}
-			count += k
-			if eof {
-				break
-			}
+		k, eof := s.ReadChunk(buf)
+		if err := w.WriteChunk(buf[:k]); err != nil {
+			return fail(err)
 		}
-		if err := w.Flush(); err != nil {
-			fmt.Fprintf(stderr, "tracegen: %v\n", err)
-			return 1
+		count += k
+		if eof {
+			break
 		}
 	}
-	fmt.Fprintf(stdout, "wrote %d records of %s to %s\n", count, prof.Name, path)
+	if err := w.Flush(); err != nil {
+		return fail(err)
+	}
+	// Close errors are real write errors on buffered filesystems; a
+	// dropped one here could publish a corrupt trace.
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		fmt.Fprintf(stderr, "tracegen: %v\n", err)
+		return 1
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		fmt.Fprintf(stderr, "tracegen: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "wrote %d records of %s to %s (%s)\n", count, prof.Name, path, kind)
 	return 0
 }
 
-// tracesimMain replays a binary trace file (produced by `repro
-// tracegen` or any tool emitting the same format) through a cache
-// configuration and reports hit/miss statistics with a 3C miss
+// tracesimMain replays a trace file (native binary or text, Dinero
+// din, any of them gzip-compressed — the format is sniffed) through a
+// cache configuration and reports hit/miss statistics with a 3C miss
 // breakdown — the trace-driven half of the paper's methodology.
 func tracesimMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("repro tracesim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	path := fs.String("trace", "", "binary trace file (required)")
+	path := fs.String("trace", "", "trace file, format sniffed (required)")
 	size := fs.Int("size", 8<<10, "cache size in bytes")
 	block := fs.Int("block", 32, "block size in bytes")
 	ways := fs.Int("ways", 2, "associativity")
@@ -216,6 +254,13 @@ func tracesimMain(ctx context.Context, args []string, stdout, stderr io.Writer) 
 	}
 
 	if *path == "" {
+		fs.Usage()
+		return 2
+	}
+	// Reject impossible geometries as a usage error; the bare division
+	// below used to panic on -ways 0 or -block 0.
+	if err := cache.CheckGeometry(*size, *block, *ways); err != nil {
+		fmt.Fprintf(stderr, "tracesim: %v\n", err)
 		fs.Usage()
 		return 2
 	}
@@ -240,7 +285,7 @@ func tracesimMain(ctx context.Context, args []string, stdout, stderr io.Writer) 
 	})
 	cl := cache.NewClassifier(*size / *block)
 
-	f, err := os.Open(*path)
+	f, err := trace.OpenFile(*path)
 	if err != nil {
 		fmt.Fprintf(stderr, "tracesim: %v\n", err)
 		return 1
@@ -249,8 +294,7 @@ func tracesimMain(ctx context.Context, args []string, stdout, stderr io.Writer) 
 
 	// Chunked decode-replay loop: the reader decodes record batches and
 	// the memory filter compacts them in place before the cache replay.
-	r := trace.NewReader(f)
-	src := &trace.MemOnly{S: r}
+	src := &trace.MemOnly{S: f}
 	buf := make([]trace.Rec, 4096)
 	n := 0
 	for {
@@ -268,14 +312,14 @@ func tracesimMain(ctx context.Context, args []string, stdout, stderr io.Writer) 
 			break
 		}
 	}
-	if err := r.Err(); err != nil {
+	if err := f.Err(); err != nil {
 		fmt.Fprintf(stderr, "tracesim: %v\n", err)
 		return 1
 	}
 
 	s := c.Stats()
 	brk := cl.Breakdown()
-	fmt.Fprintf(stdout, "trace: %s  (%d memory references)\n", *path, n)
+	fmt.Fprintf(stdout, "trace: %s  (%s, %d memory references)\n", *path, f.Info, n)
 	fmt.Fprintf(stdout, "cache: %dB, %d-way, %dB lines, scheme %s (%d sets)\n",
 		*size, *ways, *block, place.Name(), place.Sets())
 	fmt.Fprintf(stdout, "\naccesses  %10d\nhits      %10d\nmisses    %10d  (%.2f%%)\n",

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // ReportKind is the artifact-store namespace for cached experiment
@@ -44,6 +45,17 @@ func CanonicalConfig(e Experiment, cfg Config) ([]byte, error) {
 	// count, so neither may fragment the content address.
 	delete(m, "workers")
 	delete(m, "shards")
+	// A trace-file path is a location, not content.  Key by the file's
+	// bytes instead, so a moved or renamed trace hits the same cached
+	// report and an edited one misses — a path key would serve stale
+	// results after the file changed underneath it.
+	if tf, ok := m["tracefile"].(string); ok && tf != "" {
+		sum, _, err := trace.HashFile(tf)
+		if err != nil {
+			return nil, fmt.Errorf("%s: tracefile: %w", e.Name, err)
+		}
+		m["tracefile"] = "sha256:" + sum
+	}
 	return json.Marshal(m) // map keys marshal in sorted order
 }
 

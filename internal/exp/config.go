@@ -32,6 +32,14 @@ type Base struct {
 	// Like Workers, it is an execution detail: results are bit-identical
 	// at every shard count.
 	Shards int `json:"shards" flag:"shards" help:"intra-trace state shards per job (0 = auto from spare cores); results are identical at any count"`
+	// TraceFile, when set, replays a user-supplied trace file (din or
+	// native format, optionally gzip-compressed; the reader sniffs which)
+	// in place of the synthetic benchmark suite.  Experiments that need
+	// full instruction records (pipeline/CPU models) or a per-benchmark
+	// suite reject it with a clear error.  For content addressing the
+	// path is replaced by the file's SHA-256, so cached results follow
+	// the trace bytes, not the file name.
+	TraceFile string `json:"tracefile,omitempty" flag:"tracefile" help:"replay this trace file (din or native, optionally .gz) instead of the synthetic suite"`
 }
 
 // Default experiment scale: 200k instructions per program per

@@ -99,6 +99,9 @@ func reduciblePolys(n int) []gf2.Poly {
 // positionally by the reducer.
 func RunAblateCtx(ctx context.Context, cfg AblateConfig) (AblateResult, error) {
 	cfg = cfg.normalize()
+	if err := rejectTraceFile("ablate", cfg.Base); err != nil {
+		return AblateResult{}, err
+	}
 	var res AblateResult
 
 	var jobs []runner.JobOf[float64]

@@ -9,7 +9,6 @@ import (
 	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/trace"
-	"repro/internal/workload"
 )
 
 // ColAssocConfig configures the §3.1 option-4 probe study.
@@ -46,7 +45,10 @@ func RunColAssocCtx(ctx context.Context, cfg ColAssocConfig) (ColAssocResult, er
 	type caCell struct {
 		firstProbe, miss, avgProbes, noSwapMiss float64
 	}
-	suite := workload.Suite()
+	suite, err := suiteFor(cfg.Base)
+	if err != nil {
+		return res, err
+	}
 	jobs := make([]runner.JobOf[caCell], len(suite))
 	for i, prof := range suite {
 		jobs[i] = runner.KeyedJob("colassoc/"+prof.Name,

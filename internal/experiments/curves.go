@@ -10,7 +10,6 @@ import (
 	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/trace"
-	"repro/internal/workload"
 )
 
 // CurvesConfig configures the whole-design-space miss-ratio curves.
@@ -114,7 +113,10 @@ func avgCurves(per [][]stackdist.Curve) []stackdist.Curve {
 func RunCurvesCtx(ctx context.Context, cfg CurvesConfig) (CurvesResult, error) {
 	cfg = cfg.normalize()
 	res := CurvesResult{Schemes: curveSchemes(), SetCounts: curveSetCounts(), MaxWays: cfg.MaxWays}
-	suite := workload.Suite()
+	suite, err := suiteFor(cfg.Base)
+	if err != nil {
+		return res, err
+	}
 	type benchCurves struct {
 		flat []stackdist.Curve // scheme-major: [k*MaxWays + (w-1)]
 		fa   stackdist.Curve

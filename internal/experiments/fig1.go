@@ -286,6 +286,9 @@ func fig1Jobs(cfg Fig1Config) []runner.JobOf[fig1Partial] {
 // when ctx is cancelled.
 func RunFig1Ctx(ctx context.Context, cfg Fig1Config) (Fig1Result, error) {
 	cfg = cfg.normalize()
+	if err := rejectTraceFile("fig1", cfg.Base); err != nil {
+		return Fig1Result{}, err
+	}
 	res := Fig1Result{
 		Histograms:   make(map[index.Scheme]*stats.Histogram),
 		Pathological: make(map[index.Scheme]int),

@@ -2,8 +2,10 @@ package experiments
 
 import (
 	"context"
+	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/exp"
 	"repro/internal/gf2"
 	"repro/internal/hierarchy"
 	"repro/internal/index"
@@ -59,4 +61,32 @@ func forEachMemChunk(ctx context.Context, prof workload.Profile, seed, max uint6
 // chunked trace — the full-trace view the CPU-level drivers consume.
 func limitedSource(prof workload.Profile, seed, max uint64) trace.Source {
 	return &trace.Limit{S: workload.Source(prof, seed), N: max}
+}
+
+// suiteFor resolves the benchmark set a memory-trace driver iterates:
+// the standard synthetic suite, or — when the shared options name a
+// trace file — that single external trace standing in for the whole
+// suite.  Every per-benchmark row then reports the file (by base name)
+// exactly as it would a synthetic program.
+func suiteFor(b exp.Base) ([]workload.Profile, error) {
+	if b.TraceFile == "" {
+		return workload.Suite(), nil
+	}
+	prof, err := workload.ExternalProfile(b.TraceFile)
+	if err != nil {
+		return nil, err
+	}
+	return []workload.Profile{prof}, nil
+}
+
+// rejectTraceFile is the guard for drivers that cannot consume an
+// external memory trace: CPU-level models need full instruction
+// records (PCs, registers, branch outcomes) and the stride studies
+// synthesize their own reference patterns — neither is derivable from
+// an address trace.
+func rejectTraceFile(name string, b exp.Base) error {
+	if b.TraceFile == "" {
+		return nil
+	}
+	return fmt.Errorf("%s: -tracefile is not supported: this experiment needs full synthetic instruction traces; use a memory-trace experiment (replay, missratio, stddev, threec, sweep, curves, colassoc, holes)", name)
 }

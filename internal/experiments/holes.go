@@ -12,7 +12,6 @@ import (
 	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/trace"
-	"repro/internal/workload"
 )
 
 // HolesConfig configures the §3.3 inclusion-hole study.
@@ -115,7 +114,10 @@ func RunHolesCtx(ctx context.Context, cfg HolesConfig) (HolesResult, error) {
 	type suiteCell struct {
 		rate, share float64
 	}
-	suite := workload.Suite()
+	suite, err := suiteFor(cfg.Base)
+	if err != nil {
+		return res, err
+	}
 	for _, prof := range suite {
 		jobs = append(jobs, runner.Job{
 			Key: "holes/suite/" + prof.Name,

@@ -58,6 +58,9 @@ type InterleaveResult struct {
 // 8-byte words) on the parallel engine, one job per selector.
 func RunInterleaveCtx(ctx context.Context, cfg InterleaveConfig) (InterleaveResult, error) {
 	cfg = cfg.normalize()
+	if err := rejectTraceFile("interleave", cfg.Base); err != nil {
+		return InterleaveResult{}, err
+	}
 	type mk struct {
 		name string
 		sel  func() banks.Selector

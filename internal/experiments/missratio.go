@@ -11,7 +11,6 @@ import (
 	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/trace"
-	"repro/internal/workload"
 )
 
 // OrgsConfig configures the §2.1 cache-organization comparison.
@@ -96,7 +95,10 @@ func RunOrgsCtx(ctx context.Context, cfg OrgsConfig) (OrgResult, error) {
 	names := orgNames()
 	spec, gridIdx := orgSpec()
 	res := OrgResult{Orgs: names}
-	suite := workload.Suite()
+	suite, err := suiteFor(cfg.Base)
+	if err != nil {
+		return res, err
+	}
 	jobs := make([]runner.JobOf[[]float64], len(suite))
 	for i, prof := range suite {
 		jobs[i] = runner.KeyedJob("missratio/orgs/"+prof.Name,
@@ -232,7 +234,10 @@ func RunStdDevCtx(ctx context.Context, cfg StdDevConfig) (StdDevResult, error) {
 			Placement:     index.MustNew(index.SchemeIPolySk, setBits8K, 2, hashInBits),
 			WriteAllocate: false},
 	}
-	suite := workload.Suite()
+	suite, err := suiteFor(cfg.Base)
+	if err != nil {
+		return res, err
+	}
 	type pair struct{ conv, ipoly float64 }
 	jobs := make([]runner.JobOf[pair], len(suite))
 	for i, prof := range suite {

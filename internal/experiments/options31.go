@@ -51,6 +51,9 @@ type Options31Result struct {
 // one job per (option, program) grid point.
 func RunOptions31Ctx(ctx context.Context, cfg Options31Config) (Options31Result, error) {
 	cfg = cfg.normalize()
+	if err := rejectTraceFile("options31", cfg.Base); err != nil {
+		return Options31Result{}, err
+	}
 	var res Options31Result
 
 	ipoly := index.MustNew(index.SchemeIPolySk, setBits8K, 2, hashInBits)

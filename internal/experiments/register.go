@@ -76,4 +76,6 @@ func init() {
 		DefaultInterleaveConfig, InterleaveConfig.normalize, RunInterleaveCtx, InterleaveResult.report)
 	register("ablate", "design-choice ablations (polynomial, skew, bits, replacement, MSHRs, predictor, L2)", 1,
 		DefaultAblateConfig, AblateConfig.normalize, RunAblateCtx, AblateResult.report)
+	register("replay", "trace replay: one cache geometry driven by a trace file or benchmark, optionally time-sharded", 1,
+		DefaultReplayConfig, ReplayConfig.normalize, RunReplayCtx, ReplayResult.report)
 }

@@ -12,7 +12,6 @@ import (
 	"repro/internal/index"
 	"repro/internal/runner"
 	"repro/internal/stats"
-	"repro/internal/workload"
 )
 
 // indexOfScheme returns the position of scheme in schemes (-1 if absent).
@@ -127,7 +126,10 @@ func RunSweepCtx(ctx context.Context, cfg SweepConfig) (SweepResult, error) {
 	spec := sweepSpec(res.SizesKB, res.Ways, skewed)
 	setCounts := sweepSetCounts(res.SizesKB, res.Ways)
 	maxWays := res.Ways[len(res.Ways)-1]
-	suite := workload.Suite()
+	suite, err := suiteFor(cfg.Base)
+	if err != nil {
+		return res, err
+	}
 	// benchGrid[s][w][k] is one benchmark's read miss % per design point.
 	type benchGrid [][][]float64
 	jobs := make([]runner.JobOf[benchGrid], len(suite))

@@ -106,6 +106,9 @@ type t2Cell struct {
 // deterministic at any worker count.
 func RunTable2Ctx(ctx context.Context, cfg Table2Config) (Table2Result, error) {
 	cfg = cfg.normalize()
+	if err := rejectTraceFile("table2", cfg.Base); err != nil {
+		return Table2Result{}, err
+	}
 	cfgs := table2Configs()
 	cfgOrder := table2ConfigOrder()
 	suite := workload.Suite()
@@ -224,6 +227,9 @@ type Table3Result struct {
 // RunTable3Ctx derives Table 3 from a Table 2 run (the paper's Table 3
 // is a re-presentation of the same simulations).
 func RunTable3Ctx(ctx context.Context, cfg Table3Config) (Table3Result, error) {
+	if err := rejectTraceFile("table3", cfg.Base); err != nil {
+		return Table3Result{}, err
+	}
 	t2, err := RunTable2Ctx(ctx, Table2Config{Base: cfg.Base})
 	if err != nil {
 		return Table3Result{}, err

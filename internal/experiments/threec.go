@@ -102,7 +102,10 @@ func threeCBench(ctx context.Context, cfg ThreeCConfig, prof workload.Profile, p
 func RunThreeCCtx(ctx context.Context, cfg ThreeCConfig) (ThreeCResult, error) {
 	cfg = cfg.normalize()
 	var res ThreeCResult
-	suite := workload.Suite()
+	suite, err := suiteFor(cfg.Base)
+	if err != nil {
+		return res, err
+	}
 	schemes := []index.Scheme{index.SchemeModulo, index.SchemeIPolySk}
 	var jobs []runner.JobOf[ThreeCRow]
 	for _, scheme := range schemes {

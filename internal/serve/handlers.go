@@ -93,6 +93,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid config: %v", err)
 		return
 	}
+	// A tracefile points the server at one of its own local files, so it
+	// is rejected before any use — including the file hashing ReportKey
+	// would do — unless the operator opted in.
+	if cfg.BaseConfig().TraceFile != "" && !s.opts.AllowTraceFiles {
+		writeError(w, http.StatusBadRequest, "invalid config: tracefile is not accepted by this server (server-local file access; start with -allow-trace-files to enable)")
+		return
+	}
 	key, err := exp.ReportKey(e, cfg)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "deriving result key: %v", err)

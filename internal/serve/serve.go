@@ -72,6 +72,11 @@ type Options struct {
 	// Retain caps the number of finished jobs kept for status/result
 	// queries.  0 means DefaultRetain.
 	Retain int
+	// AllowTraceFiles permits configs naming a tracefile.  Off by
+	// default: a trace-file path in a request is a server-local file
+	// read chosen by a remote client — a multi-tenant deployment must
+	// opt in deliberately.
+	AllowTraceFiles bool
 }
 
 // Server is the simulation service: a job store, a bounded queue, a

@@ -684,3 +684,37 @@ func TestStatsEndpoint(t *testing.T) {
 		t.Errorf("store_line %q is not the shared formatter of %+v", st.StoreLine, st.Store)
 	}
 }
+
+// TestTraceFileGate pins the tracefile policy: a config naming a
+// server-local trace file is rejected unless the operator started the
+// server with AllowTraceFiles — and the rejection happens before the
+// server touches (hashes) the named file.
+func TestTraceFileGate(t *testing.T) {
+	regTestExp(t, "svc-tracegate", nil)
+	body := `{"experiment": "svc-tracegate", "config": {"tracefile": "/etc/passwd"}}`
+
+	t.Run("default deny", func(t *testing.T) {
+		_, ts := newTestServer(t, Options{Workers: 1})
+		resp, b := post(t, ts, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("HTTP %d, want 400: %s", resp.StatusCode, b)
+		}
+		var eb ErrorBody
+		if err := json.Unmarshal(b, &eb); err != nil {
+			t.Fatalf("not an ErrorBody: %v\n%s", err, b)
+		}
+		if !strings.Contains(eb.Error, "tracefile is not accepted") {
+			t.Errorf("error %q does not explain the tracefile policy", eb.Error)
+		}
+	})
+
+	t.Run("opt-in allows", func(t *testing.T) {
+		_, ts := newTestServer(t, Options{Workers: 1, AllowTraceFiles: true})
+		resp, b := post(t, ts, body)
+		// With the gate open the submission proceeds to job admission
+		// (the bogus path fails later, inside the run, not at submit).
+		if resp.StatusCode == http.StatusBadRequest && strings.Contains(string(b), "tracefile is not accepted") {
+			t.Fatalf("gate still closed with AllowTraceFiles: %s", b)
+		}
+	})
+}

@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The Dinero "din" trace format: one reference per line, a decimal label
+// followed by a hexadecimal address, with anything after the second
+// field ignored (dinero's own readers skip the remainder of the line).
+// Labels 0 and 1 are data reads and writes, label 2 is an instruction
+// fetch.  It is the lingua franca the paper-era cache simulators
+// exchanged Spec address traces in, so it is the first external format
+// the replay path accepts.
+const (
+	dinRead  = "0"
+	dinWrite = "1"
+	dinFetch = "2"
+)
+
+// DinReader decodes din-format text and implements both Stream and
+// Source.  Data reads and writes become OpLoad/OpStore records carrying
+// the address; instruction fetches become non-memory records carrying
+// the fetch address as PC (so MemOnly filters them out, exactly the
+// view a data-cache simulator wants).  Labels outside 0-2 and
+// malformed addresses surface as positioned errors via Err.
+type DinReader struct {
+	sc   *bufio.Scanner
+	line int
+	err  error
+	eof  bool
+}
+
+// NewDinReader returns a din-format trace reader.
+func NewDinReader(r io.Reader) *DinReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	return &DinReader{sc: sc}
+}
+
+// Err returns the first error encountered (parse error, oversized line,
+// or a failure of the underlying reader such as a truncated gzip
+// stream).
+func (dr *DinReader) Err() error { return dr.err }
+
+// Next implements Stream.  It returns false at EOF or on error; check
+// Err to distinguish.
+func (dr *DinReader) Next() (Rec, bool) {
+	if dr.err != nil || dr.eof {
+		return Rec{}, false
+	}
+	for dr.sc.Scan() {
+		dr.line++
+		line := strings.TrimSpace(dr.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			dr.err = fmt.Errorf("trace: din line %d: want `label address`, got %d field(s)", dr.line, len(f))
+			return Rec{}, false
+		}
+		raw := strings.TrimPrefix(strings.TrimPrefix(f[1], "0x"), "0X")
+		addr, err := strconv.ParseUint(raw, 16, 64)
+		if err != nil {
+			dr.err = fmt.Errorf("trace: din line %d: address %q: not a hex number", dr.line, f[1])
+			return Rec{}, false
+		}
+		switch f[0] {
+		case dinRead:
+			return Rec{Op: OpLoad, Addr: addr}, true
+		case dinWrite:
+			return Rec{Op: OpStore, Addr: addr}, true
+		case dinFetch:
+			return Rec{Op: OpIntALU, PC: addr}, true
+		default:
+			dr.err = fmt.Errorf("trace: din line %d: unknown label %q (want 0=read, 1=write, 2=ifetch)", dr.line, f[0])
+			return Rec{}, false
+		}
+	}
+	if err := dr.sc.Err(); err != nil {
+		dr.err = fmt.Errorf("trace: din line %d: %w", dr.line, err)
+	}
+	dr.eof = true
+	return Rec{}, false
+}
+
+// ReadChunk implements Source.
+func (dr *DinReader) ReadChunk(buf []Rec) (int, bool) {
+	n := 0
+	for n < len(buf) {
+		r, ok := dr.Next()
+		if !ok {
+			return n, true
+		}
+		buf[n] = r
+		n++
+	}
+	return n, false
+}
+
+// DinWriter encodes records in the din text format.  Call Flush when
+// done.
+type DinWriter struct {
+	w *bufio.Writer
+}
+
+// NewDinWriter returns a din-format trace writer.
+func NewDinWriter(w io.Writer) *DinWriter { return &DinWriter{w: bufio.NewWriter(w)} }
+
+// WriteChunk encodes a batch of records: loads and stores as labels
+// 0/1 with the data address, everything else as a label-2 instruction
+// fetch of the record's PC — the inverse of DinReader's mapping, so a
+// mem-only trace round-trips exactly.
+func (dw *DinWriter) WriteChunk(recs []Rec) error {
+	for _, r := range recs {
+		var err error
+		switch r.Op {
+		case OpLoad:
+			_, err = fmt.Fprintf(dw.w, "%s %x\n", dinRead, r.Addr)
+		case OpStore:
+			_, err = fmt.Fprintf(dw.w, "%s %x\n", dinWrite, r.Addr)
+		default:
+			_, err = fmt.Fprintf(dw.w, "%s %x\n", dinFetch, r.PC)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush flushes buffered output.
+func (dw *DinWriter) Flush() error { return dw.w.Flush() }
+
+// WriteDin writes records in the din text format in one call.
+func WriteDin(w io.Writer, recs []Rec) error {
+	dw := NewDinWriter(w)
+	if err := dw.WriteChunk(recs); err != nil {
+		return err
+	}
+	return dw.Flush()
+}

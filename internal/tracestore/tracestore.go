@@ -25,6 +25,15 @@
 // parameters, the seed, the requested length and the packed-format
 // version, so they survive across `repro all` runs and are invalidated
 // automatically whenever any key ingredient changes.
+//
+// External profiles (workload.Profile.External != nil) are served the
+// same way, except records come from decoding the trace file instead of
+// from synthesis.  Because the profile's JSON encoding carries the
+// file's content hash rather than its path, the store's keys — and the
+// persistent tier's — identify the trace bytes: moving or renaming the
+// file hits the same entry, editing it misses.  External traces are
+// finite; a file shorter than the requested max yields a short entry
+// that is remembered as complete, not re-decoded on every touch.
 package tracestore
 
 import (
@@ -115,6 +124,7 @@ type entry struct {
 	hash    string // ProfileKey(prof)
 	seed    uint64
 	n       uint64   // records materialized
+	done    bool     // source exhausted before max: n is the whole trace
 	charged int64    // bytes charged against the store budget
 	addrs   []uint64 // record i's address
 	stores  []uint64 // bitmask: bit i set => record i is a store
@@ -211,7 +221,58 @@ func (s *Store) ReplayMem(ctx context.Context, prof workload.Profile, seed, max 
 // identical to ReplayMem on both the memoized and the streaming path.
 // Buffers must have non-zero capacity.
 func (s *Store) ReplayMemChunks(ctx context.Context, prof workload.Profile, seed, max uint64, next func() []trace.Rec, emit func(recs []trace.Rec)) error {
-	if max == 0 {
+	return s.replayRangeChunks(ctx, prof, seed, max, 0, max, next, emit)
+}
+
+// ReplayMemRange feeds records [lo, hi) of the first max memory records
+// of (prof, seed) to fn in bounded in-order chunks — ReplayMem
+// restricted to an index window.  Time-sharded replay is built on it:
+// shard k replays its own window after warming up on a slice of its
+// predecessor's.  hi is clamped to the trace length; an empty window is
+// a no-op.
+func (s *Store) ReplayMemRange(ctx context.Context, prof workload.Profile, seed, max, lo, hi uint64, fn func(recs []trace.Rec)) error {
+	buf := make([]trace.Rec, 0, chunkLen)
+	return s.ReplayMemRangeChunks(ctx, prof, seed, max, lo, hi,
+		func() []trace.Rec { return buf[:0] },
+		func(recs []trace.Rec) {
+			if len(recs) > 0 {
+				fn(recs)
+			}
+		})
+}
+
+// ReplayMemRangeChunks is ReplayMemRange with caller-owned chunk
+// buffers, under the same contract as ReplayMemChunks.
+func (s *Store) ReplayMemRangeChunks(ctx context.Context, prof workload.Profile, seed, max, lo, hi uint64, next func() []trace.Rec, emit func(recs []trace.Rec)) error {
+	if hi > max {
+		hi = max
+	}
+	if lo >= hi {
+		return ctx.Err()
+	}
+	return s.replayRangeChunks(ctx, prof, seed, max, lo, hi, next, emit)
+}
+
+// MemLen reports how many memory records the first max records of
+// (prof, seed) actually contain: max for the infinite synthetic
+// generators, possibly fewer for a finite external trace file.  As a
+// side effect the trace is materialized (budget permitting), so the
+// replays that typically follow are store hits.
+func (s *Store) MemLen(ctx context.Context, prof workload.Profile, seed, max uint64) (uint64, error) {
+	buf := make([]trace.Rec, 0, chunkLen)
+	var n uint64
+	err := s.ReplayMemChunks(ctx, prof, seed, max,
+		func() []trace.Rec { return buf[:0] },
+		func(recs []trace.Rec) { n += uint64(len(recs)) })
+	return n, err
+}
+
+// replayRangeChunks is the shared admission/materialization path:
+// deliver records [lo, hi) of the first max memory records, memoizing
+// the whole max-record prefix when the budget allows and streaming the
+// window otherwise.
+func (s *Store) replayRangeChunks(ctx context.Context, prof workload.Profile, seed, max, lo, hi uint64, next func() []trace.Rec, emit func(recs []trace.Rec)) error {
+	if max == 0 || lo >= hi {
 		return ctx.Err()
 	}
 	key := Key{ProfileHash: ProfileKey(prof), Seed: seed}
@@ -227,7 +288,7 @@ func (s *Store) ReplayMemChunks(ctx context.Context, prof workload.Profile, seed
 		if s.used+need > s.maxBytes {
 			s.stats.Streamed++
 			s.mu.Unlock()
-			return streamMemChunks(ctx, prof, seed, max, next, emit)
+			return streamMemRange(ctx, prof, seed, lo, hi, next, emit)
 		}
 		e = &entry{prof: prof, hash: key.ProfileHash, seed: seed, charged: need}
 		s.used += need
@@ -238,7 +299,7 @@ func (s *Store) ReplayMemChunks(ctx context.Context, prof workload.Profile, seed
 	// Materialize (or grow) under the entry lock; concurrent requesters
 	// for the same trace block here and then replay the shared arrays.
 	e.mu.Lock()
-	if e.n < max {
+	if e.n < max && !e.done {
 		need := packedBytes(max)
 		s.mu.Lock()
 		if need > e.charged {
@@ -248,7 +309,7 @@ func (s *Store) ReplayMemChunks(ctx context.Context, prof workload.Profile, seed
 				s.stats.Streamed++
 				s.mu.Unlock()
 				e.mu.Unlock()
-				return streamMemChunks(ctx, prof, seed, max, next, emit)
+				return streamMemRange(ctx, prof, seed, lo, hi, next, emit)
 			}
 			s.used += need - e.charged
 			e.charged = need
@@ -297,18 +358,41 @@ func (s *Store) ReplayMemChunks(ctx context.Context, prof workload.Profile, seed
 	addrs, stores, n := e.addrs, e.stores, e.n
 	e.mu.Unlock()
 
-	return replayPackedChunks(ctx, addrs, stores, n, max, next, emit)
+	return replayPackedChunks(ctx, addrs, stores, n, lo, hi, next, emit)
+}
+
+// memSource opens the memory-record source for (prof, seed): the
+// synthetic generator for ordinary profiles, the sniffed trace-file
+// reader for external ones.  finish reports a decode or I/O error
+// pending after the source has been drained (a sniffed reader signals
+// corruption as early EOF plus a deferred error); closeSrc releases
+// any underlying file handle.
+func memSource(prof workload.Profile, seed uint64) (src trace.Source, finish, closeSrc func() error, err error) {
+	if prof.External == nil {
+		nop := func() error { return nil }
+		return &trace.MemOnly{S: workload.NewGenerator(prof, seed)}, nop, nop, nil
+	}
+	f, err := trace.OpenFile(prof.External.Path)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("tracestore: %w", err)
+	}
+	return &trace.MemOnly{S: f}, f.Err, f.Close, nil
 }
 
 // generate regenerates the packed trace from scratch up to max records.
-// A growth request regenerates rather than resuming: generator state is
+// A growth request regenerates rather than resuming: source state is
 // not checkpointed, and within one `repro all` run every driver asks for
 // the same size, so growth never happens there.
 func (e *entry) generate(ctx context.Context, max uint64) error {
-	src := &trace.MemOnly{S: workload.NewGenerator(e.prof, e.seed)}
+	src, finish, closeSrc, err := memSource(e.prof, e.seed)
+	if err != nil {
+		return err
+	}
+	defer closeSrc()
 	e.addrs = make([]uint64, 0, max)
 	e.stores = make([]uint64, (max+63)/64)
 	e.n = 0
+	e.done = false
 	buf := make([]trace.Rec, chunkLen)
 	for e.n < max {
 		if err := ctx.Err(); err != nil {
@@ -328,6 +412,10 @@ func (e *entry) generate(ctx context.Context, max uint64) error {
 		}
 		e.n += uint64(k)
 		if eof {
+			if err := finish(); err != nil {
+				return err
+			}
+			e.done = true
 			break
 		}
 	}
@@ -349,6 +437,9 @@ func (e *entry) loadDisk(d *store.Store, max uint64) bool {
 		return false
 	}
 	e.addrs, e.stores, e.n = addrs, stores, n
+	// A persisted blob shorter than its own max means the source ran dry
+	// at generation time: the entry is complete, not partial.
+	e.done = n < max
 	return true
 }
 
@@ -409,16 +500,17 @@ func decodePacked(blob []byte, max uint64) (addrs, stores []uint64, n uint64, ok
 	return addrs, stores, n, true
 }
 
-// replayPackedChunks decodes the first max of n packed records back
-// into trace.Rec chunks, each decoded directly into a buffer obtained
-// from next and delivered to emit.  The arrays are an immutable
-// snapshot, so concurrent replays of one entry are safe.
-func replayPackedChunks(ctx context.Context, addrs, stores []uint64, n, max uint64, next func() []trace.Rec, emit func(recs []trace.Rec)) error {
+// replayPackedChunks decodes packed records [lo, hi) (hi clamped to
+// the n materialized) back into trace.Rec chunks, each decoded
+// directly into a buffer obtained from next and delivered to emit.
+// The arrays are an immutable snapshot, so concurrent replays of one
+// entry are safe.
+func replayPackedChunks(ctx context.Context, addrs, stores []uint64, n, lo, hi uint64, next func() []trace.Rec, emit func(recs []trace.Rec)) error {
 	limit := n
-	if max < limit {
-		limit = max
+	if hi < limit {
+		limit = hi
 	}
-	for i := uint64(0); i < limit; {
+	for i := lo; i < limit; {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -442,22 +534,44 @@ func replayPackedChunks(ctx context.Context, addrs, stores []uint64, n, max uint
 	return nil
 }
 
-// streamMemChunks is the bounded-memory fallback: generate and deliver
-// the trace chunk by chunk without materializing it, each chunk written
-// into a buffer obtained from next.  Records are reduced to the same
-// Op+Addr shape the packed replay delivers, so a consumer sees
-// identical record contents whichever path the budget picks.
-func streamMemChunks(ctx context.Context, prof workload.Profile, seed, max uint64, next func() []trace.Rec, emit func(recs []trace.Rec)) error {
-	src := &trace.MemOnly{S: workload.NewGenerator(prof, seed)}
-	var done uint64
-	for done < max {
+// streamMemRange is the bounded-memory fallback: decode the source and
+// deliver records [lo, hi) chunk by chunk without materializing
+// anything, each chunk written into a buffer obtained from next.
+// Records are reduced to the same Op+Addr shape the packed replay
+// delivers, so a consumer sees identical record contents whichever
+// path the budget picks.
+func streamMemRange(ctx context.Context, prof workload.Profile, seed, lo, hi uint64, next func() []trace.Rec, emit func(recs []trace.Rec)) error {
+	src, finish, closeSrc, err := memSource(prof, seed)
+	if err != nil {
+		return err
+	}
+	defer closeSrc()
+	var pos uint64 // records consumed from the source so far
+	if lo > 0 {
+		skip := make([]trace.Rec, chunkLen)
+		for pos < lo {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			want := uint64(chunkLen)
+			if lo-pos < want {
+				want = lo - pos
+			}
+			k, eof := src.ReadChunk(skip[:want])
+			pos += uint64(k)
+			if eof {
+				return finish()
+			}
+		}
+	}
+	for pos < hi {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		buf := chunkBuf(next)
 		want := uint64(cap(buf))
-		if max-done < want {
-			want = max - done
+		if hi-pos < want {
+			want = hi - pos
 		}
 		buf = buf[:want]
 		k, eof := src.ReadChunk(buf)
@@ -465,12 +579,12 @@ func streamMemChunks(ctx context.Context, prof workload.Profile, seed, max uint6
 			buf[i] = trace.Rec{Op: buf[i].Op, Addr: buf[i].Addr}
 		}
 		emit(buf[:k])
-		done += uint64(k)
+		pos += uint64(k)
 		if eof {
 			break
 		}
 	}
-	return nil
+	return finish()
 }
 
 // chunkBuf fetches the caller's next chunk buffer and enforces the

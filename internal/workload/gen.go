@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"fmt"
+
 	"repro/internal/rng"
 	"repro/internal/trace"
 )
@@ -33,8 +35,13 @@ type Generator struct {
 	pending []trace.Rec
 }
 
-// NewGenerator returns a generator for prof seeded with seed.
+// NewGenerator returns a generator for prof seeded with seed.  It
+// panics on an external profile: records for those come from decoding
+// the trace file (the trace store routes them), never from synthesis.
 func NewGenerator(prof Profile, seed uint64) *Generator {
+	if prof.External != nil {
+		panic(fmt.Sprintf("workload: profile %q is an external trace file, not a synthetic generator", prof.Name))
+	}
 	// Worst-case body: div/sqrt prologue + mul prologue + one access per
 	// array + random loads + arithmetic + two branches.
 	bodyMax := 2 + len(prof.Arrays) + prof.RandLoads + prof.IntOps + prof.FPOps + 2

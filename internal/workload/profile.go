@@ -67,6 +67,13 @@ type Profile struct {
 	// LoopLen is the inner-loop trip count: the back-edge branch is taken
 	// LoopLen-1 times then falls through once.
 	LoopLen int
+
+	// External, when non-nil, marks the profile as a user-supplied trace
+	// file (see ExternalProfile): the generator parameters above are all
+	// zero and records come from decoding the file instead of synthesis.
+	// The field is omitted from JSON when nil, so content keys of
+	// synthetic profiles are unchanged by its existence.
+	External *ExternalTrace `json:",omitempty"`
 }
 
 // way is the paper's L1 way size (8 KB / 2 ways... the aliasing unit for
